@@ -1,0 +1,147 @@
+"""FIG7 -- Figure 7: per-particle time vs problem size at fixed machine.
+
+"The interesting feature of this plot is the decrease in the per
+particle computational time with larger problems. ... The effect is most
+pronounced in going from a virtual processor ratio of 1 to a ratio of 2
+because collision pairings are even with odd, hence for virtual
+processor ratios greater than one, communication in the collision
+routine is maintained within the physical processor."
+
+Two curves are produced:
+
+* **model**: the calibrated structural cost model evaluated at the
+  paper's machine (32k processors) and particle counts (32k..512k);
+* **measured**: the CM emulation engine actually run on a scaled
+  machine (so Python runtimes stay in seconds) across the same VP-ratio
+  range 1..16, with communication volumes measured from the real send
+  patterns.
+"""
+
+import numpy as np
+
+from repro.analysis.report import ExperimentRecord
+from repro.cm.machine import CM2
+from repro.cm.timing import CM2TimingModel
+from repro.constants import (
+    PAPER_CM2_PROCESSORS,
+    PAPER_CM2_US_PER_PARTICLE,
+)
+from repro.core.engine_cm import CMSimulation
+from repro.core.simulation import SimulationConfig
+from repro.geometry.domain import Domain
+from repro.physics.freestream import Freestream
+
+from benchmarks.common import OUT_DIR
+
+#: Scaled machine: 512 physical processors; particle counts sweep the
+#: paper's VP-ratio range 1..16.
+SCALED_PROCESSORS = 512
+VP_RATIOS = (1, 2, 4, 8, 16)
+STEPS = 6
+
+
+def _measured_curve():
+    machine = CM2(n_processors=SCALED_PROCESSORS)
+    tm = CM2TimingModel(machine=machine)
+    curve = {}
+    for vpr in VP_RATIOS:
+        n_target = SCALED_PROCESSORS * vpr
+        # Size the domain so freestream density stays ~8/cell.
+        ny = max(int(np.sqrt(n_target / 8.0 / 2.0)), 6)
+        nx, ny = 2 * ny, ny
+        density = n_target / (nx * ny)
+        cfg = SimulationConfig(
+            domain=Domain(nx, ny),
+            freestream=Freestream(
+                mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=density
+            ),
+            wedge=None,
+            seed=7,
+        )
+        sim = CMSimulation(cfg, machine=machine)
+        sim.run(STEPS)
+        pb = sim.phase_breakdown(tm)
+        curve[vpr] = pb
+    return curve
+
+
+def test_fig7_per_particle_time_vs_problem_size(benchmark, emit):
+    # Model curve at the paper's machine.
+    tm_paper = CM2TimingModel(machine=CM2(n_processors=PAPER_CM2_PROCESSORS))
+    counts = [PAPER_CM2_PROCESSORS * v for v in VP_RATIOS]
+    model = tm_paper.predict_curve(counts)
+    model_totals = {v: model[PAPER_CM2_PROCESSORS * v].total for v in VP_RATIOS}
+
+    # Measured curve on the emulated (scaled) machine; time one run of
+    # the smallest configuration as the benchmark workload.
+    measured = _measured_curve()
+    measured_totals = {v: pb.total for v, pb in measured.items()}
+
+    def one_step_workload():
+        machine = CM2(n_processors=SCALED_PROCESSORS)
+        cfg = SimulationConfig(
+            domain=Domain(32, 16),
+            freestream=Freestream(
+                mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=8.0
+            ),
+            wedge=None,
+            seed=3,
+        )
+        sim = CMSimulation(cfg, machine=machine)
+        sim.run(2)
+        return sim.ledger.total()
+
+    benchmark(one_step_workload)
+
+    rec = ExperimentRecord("FIG7", "per-particle time vs total particles")
+    rec.add(
+        "model total at 512k (us)",
+        PAPER_CM2_US_PER_PARTICLE,
+        model_totals[16],
+        rel_tol=0.01,
+    )
+    rec.add(
+        "model total at 32k / VPR 1 (us)",
+        10.5,
+        model_totals[1],
+        rel_tol=0.15,
+        note="paper figure 7 tops out near 10.5 us",
+    )
+    rec.add(
+        "measured total at VPR 16 (us)",
+        PAPER_CM2_US_PER_PARTICLE,
+        measured_totals[16],
+        rel_tol=0.25,
+        note=f"emulated {SCALED_PROCESSORS}-processor machine",
+    )
+    drops = [
+        measured_totals[a] - measured_totals[b]
+        for a, b in zip(VP_RATIOS, VP_RATIOS[1:])
+    ]
+    rec.add(
+        "largest measured drop is VPR 1 -> 2",
+        None,
+        1.0 if drops[0] == max(drops) else 0.0,
+        note="the paper's collision-communication effect",
+    )
+    for v in VP_RATIOS:
+        rec.add(
+            f"measured us/particle at VPR {v}",
+            None,
+            measured_totals[v],
+            note=f"model: {model_totals[v]:.2f}",
+        )
+    emit(rec)
+
+    OUT_DIR.mkdir(exist_ok=True)
+    np.savez(
+        OUT_DIR / "fig7_curve.npz",
+        vp_ratios=np.array(VP_RATIOS, dtype=float),
+        model=np.array([model_totals[v] for v in VP_RATIOS]),
+        measured=np.array([measured_totals[v] for v in VP_RATIOS]),
+    )
+
+    # The shape assertions the paper's figure makes.
+    m = [measured_totals[v] for v in VP_RATIOS]
+    assert all(a > b for a, b in zip(m, m[1:])), "monotone decline"
+    assert drops[0] == max(drops), "VPR 1 -> 2 drop most pronounced"

@@ -1,0 +1,93 @@
+"""HOST -- where the time goes on a modern vector machine (this host).
+
+The paper's phase table (motion 14 / sort 27 / selection 20 / collision
+39 %) reflects the CM-2's cost structure.  Profiling the vectorized
+NumPy engine on the same workload shows how the balance shifts on a
+cache-based vector host -- the kind of measurement the optimizing
+guides insist on ("no optimization without measuring"), and useful
+context for anyone extending the hot paths.
+"""
+
+import time
+
+from repro.analysis.report import ExperimentRecord
+from repro.constants import PAPER_PHASE_FRACTIONS
+from repro.core import motion
+from repro.core.cells import assign_cells, cell_populations
+from repro.core.collision import collide_pairs
+from repro.core.pairing import even_odd_pairs
+from repro.core.selection import select_collisions
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.core.sortstep import sort_by_cell
+from repro.geometry.domain import Domain
+from repro.geometry.wedge import Wedge
+from repro.physics.freestream import Freestream
+
+STEPS = 40
+
+
+def _profiled_run():
+    cfg = SimulationConfig(
+        domain=Domain(98, 64),
+        freestream=Freestream(mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=12.0),
+        wedge=Wedge(x_leading=20.0, base=25.0, angle_deg=30.0),
+        seed=41,
+    )
+    sim = Simulation(cfg)
+    sim.run(10)  # warm
+    t = {"motion": 0.0, "sort": 0.0, "selection": 0.0, "collision": 0.0}
+    parts = sim.particles
+    for _ in range(STEPS):
+        t0 = time.perf_counter()
+        motion.advance(parts)
+        parts, _ = sim.boundaries.apply_rebuilding(parts, sim.reservoir, sim.rng)
+        t1 = time.perf_counter()
+        assign_cells(parts, cfg.domain)
+        sort_by_cell(parts, rng=sim.rng, scale=cfg.sort_scale)
+        t2 = time.perf_counter()
+        pairs = even_odd_pairs(parts.cell)
+        counts = cell_populations(parts.cell, cfg.domain.n_cells)
+        sel = select_collisions(
+            parts, pairs, cfg.freestream, cfg.model, counts,
+            volume_fractions=sim.volume_fractions.reshape(-1), rng=sim.rng,
+        )
+        t3 = time.perf_counter()
+        collide_pairs(
+            parts, pairs.first[sel.accept], pairs.second[sel.accept],
+            rng=sim.rng,
+        )
+        t4 = time.perf_counter()
+        t["motion"] += t1 - t0
+        t["sort"] += t2 - t1
+        t["selection"] += t3 - t2
+        t["collision"] += t4 - t3
+    sim.particles = parts
+    return t, parts.n
+
+
+def test_host_phase_profile(benchmark, emit):
+    (times, n_flow) = benchmark.pedantic(_profiled_run, rounds=1, iterations=1)
+    total = sum(times.values())
+
+    rec = ExperimentRecord("HOST", "phase profile: NumPy engine vs CM-2")
+    for phase, seconds in times.items():
+        rec.add(
+            f"{phase} fraction (host)",
+            PAPER_PHASE_FRACTIONS[phase],
+            seconds / total,
+            rel_tol=10.0,
+            note="paper column is the CM-2 fraction, for contrast",
+        )
+    rec.add(
+        "us / particle / step (host, full step)",
+        None,
+        total / STEPS / n_flow * 1e6,
+    )
+    emit(rec)
+
+    # Structural sanity rather than hardware-specific numbers: every
+    # phase costs something, and the collisionful half (sort + selection
+    # + collision) dominates, as on the CM-2.
+    assert all(v > 0 for v in times.values())
+    heavy = times["sort"] + times["selection"] + times["collision"]
+    assert heavy > times["motion"]

@@ -1,0 +1,54 @@
+"""TAB1 -- the paper's computational-time distribution table.
+
+"The distribution of computational time within the algorithm is as
+follows: 1) collisionless motion of particles (including boundary
+conditions) -- 14%  2) sort -- 27%  3) selection of collision partners
+-- 20%  4) collision of selected partners -- 39%."
+
+The bench runs the CM engine on the wedge problem at the calibration
+VP ratio and reports the measured phase fractions.
+"""
+
+from repro.analysis.report import ExperimentRecord
+from repro.cm.machine import CM2
+from repro.cm.timing import PHASES
+from repro.constants import PAPER_PHASE_FRACTIONS
+from repro.core.engine_cm import CMSimulation
+from repro.core.simulation import SimulationConfig
+from repro.geometry.domain import Domain
+from repro.geometry.wedge import Wedge
+from repro.physics.freestream import Freestream
+
+MACHINE = CM2(n_processors=256)
+
+
+def _wedge_cm_sim():
+    cfg = SimulationConfig(
+        domain=Domain(49, 32),
+        freestream=Freestream(mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=8.0),
+        wedge=Wedge(x_leading=10.0, base=12.5, angle_deg=30.0),
+        seed=17,
+    )
+    return CMSimulation(cfg, machine=MACHINE)
+
+
+def test_table_phase_breakdown(benchmark, emit):
+    sim = _wedge_cm_sim()
+    sim.run(10)
+
+    def regenerate():
+        return sim.phase_breakdown()
+
+    pb = benchmark(regenerate)
+    fractions = pb.fractions()
+
+    rec = ExperimentRecord("TAB1", "computational-time distribution by phase")
+    for phase in PHASES:
+        rec.add(
+            f"{phase} fraction",
+            PAPER_PHASE_FRACTIONS[phase],
+            fractions[phase],
+            rel_tol=0.3,
+        )
+    emit(rec)
+    assert rec.all_agree()

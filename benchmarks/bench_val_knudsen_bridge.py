@@ -1,0 +1,97 @@
+"""VAL3 -- the Knudsen bridge: surface pressure from continuum to
+free-molecular.
+
+The paper's two runs (lambda = 0 and lambda = 0.5) sit at the continuum
+end of the transitional regime its introduction motivates (Kn > 0.1
+vehicles).  Sweeping the mean free path across four decades bridges the
+two exact limits this library carries:
+
+* Kn -> 0: ramp pressure = oblique-shock p2 (9.2 p_inf at M4 / 30 deg);
+* Kn -> inf: free-molecular specular flux (22.9 p_inf).
+
+The measured bridge must match both anchors and pass monotonically
+between them -- a transitional-regime validation no single-limit theory
+can provide, which is exactly DSMC's reason to exist.
+"""
+
+import math
+
+from repro.analysis.report import ExperimentRecord
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.core.surface import oblique_shock_surface_pressure_ratio
+from repro.geometry.domain import Domain
+from repro.geometry.wedge import Wedge
+from repro.physics import theory
+from repro.physics.freestream import Freestream
+
+WEDGE_HALF = Wedge(x_leading=10.0, base=12.5, angle_deg=30.0)
+
+#: Freestream mean free paths (cell widths): continuum-ish to
+#: effectively collisionless (wedge base 12.5 => Kn 0.04 ... 8000).
+SWEEP = (0.0, 0.5, 5.0, 1.0e5)
+
+
+def _pressure_at(lambda_mfp: float) -> float:
+    cfg = SimulationConfig(
+        domain=Domain(49, 32),
+        freestream=Freestream(
+            mach=4.0, c_mp=0.14, lambda_mfp=lambda_mfp, density=14.0
+        ),
+        wedge=WEDGE_HALF,
+        seed=int(13 + lambda_mfp) % 10_000,
+    )
+    sim = Simulation(cfg)
+    sim.run(200)
+    sim.run(220, sample=True)
+    fs = cfg.freestream
+    p_inf = fs.density * fs.rt
+    return float(sim.surface.ramp_pressure()[2:-2].mean() / p_inf)
+
+
+def test_val_knudsen_bridge(benchmark, emit):
+    pressures = {}
+    for lam in SWEEP[:-1]:
+        pressures[lam] = _pressure_at(lam)
+    pressures[SWEEP[-1]] = benchmark.pedantic(
+        _pressure_at, args=(SWEEP[-1],), rounds=1, iterations=1
+    )
+
+    continuum_anchor = oblique_shock_surface_pressure_ratio(4.0, 30.0, 1.4)
+    fm_anchor = theory.free_molecular_specular_pressure_ratio(
+        4.0, math.radians(30.0)
+    )
+
+    rec = ExperimentRecord(
+        "VAL3", "ramp pressure across the Knudsen range (p / p_inf)"
+    )
+    rec.add(
+        "continuum anchor (lambda = 0)",
+        continuum_anchor,
+        pressures[0.0],
+        rel_tol=0.12,
+        note="oblique-shock p2",
+    )
+    for lam in SWEEP[1:-1]:
+        kn = lam / WEDGE_HALF.base
+        rec.add(
+            f"transitional, Kn = {kn:g}",
+            None,
+            pressures[lam],
+            note="between the limits",
+        )
+    rec.add(
+        "free-molecular anchor (Kn >> 1)",
+        fm_anchor,
+        pressures[SWEEP[-1]],
+        rel_tol=0.12,
+        note="doubled incident normal flux",
+    )
+    emit(rec)
+
+    values = [pressures[lam] for lam in SWEEP]
+    assert all(a < b + 1e-9 for a, b in zip(values, values[1:])), (
+        "pressure must bridge monotonically from continuum to "
+        f"free-molecular: {values}"
+    )
+    assert rec.metrics[0].agrees()
+    assert rec.metrics[-1].agrees()

@@ -1,0 +1,51 @@
+"""Session fixtures for the figure/table benchmarks.
+
+The expensive part of every figure bench is the converged wind-tunnel
+solution; it is computed once per session and shared.  Each bench prints
+an :class:`repro.analysis.report.ExperimentRecord` (paper vs measured)
+and appends it to ``benchmarks/out/records.md``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import MARKDOWN_HEADER, ExperimentRecord
+
+from benchmarks.common import OUT_DIR, run_solution
+
+
+@pytest.fixture(scope="session")
+def continuum_solution():
+    """Figures 1-3: near-continuum (lambda = 0) Mach 4 wedge solution."""
+    return run_solution(lambda_mfp=0.0)
+
+
+@pytest.fixture(scope="session")
+def rarefied_solution():
+    """Figures 4-6: rarefied (lambda = 0.5, Kn = 0.02) solution."""
+    return run_solution(lambda_mfp=0.5)
+
+
+@pytest.fixture(scope="session")
+def record_sink():
+    """Collects experiment records and writes them at session end."""
+    records: list = []
+    yield records
+    if records:
+        OUT_DIR.mkdir(exist_ok=True)
+        lines = [MARKDOWN_HEADER]
+        lines += [r.to_markdown_rows() for r in records]
+        (OUT_DIR / "records.md").write_text("\n".join(lines) + "\n")
+
+
+@pytest.fixture
+def emit(record_sink):
+    """Print a record and queue it for the session markdown dump."""
+
+    def _emit(record: ExperimentRecord) -> ExperimentRecord:
+        print("\n" + record.to_text())
+        record_sink.append(record)
+        return record
+
+    return _emit

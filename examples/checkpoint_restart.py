@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Production workflow: auto-detected steady state + checkpointed averaging.
+
+The paper's run schedule ("1200 time steps to reach steady state and
+then time averaged for a further 2000 timesteps") was hand-chosen.
+This example shows the automated version this library supports:
+
+1. run the transient with a steady-state detector watching the flow
+   population and stop the moment it settles;
+2. checkpoint the settled state to disk;
+3. restore the checkpoint and run the averaging phase -- extendable at
+   will by restoring again, without ever repeating the transient;
+4. verify the restore is exact (bitwise-identical continuation).
+
+Run:
+    python examples/checkpoint_restart.py
+"""
+
+import pathlib
+import tempfile
+import time
+
+import numpy as np
+
+from repro import Domain, Freestream, Simulation, SimulationConfig, Wedge
+from repro.analysis.convergence import SteadyStateDetector
+from repro.analysis.shock import fit_shock_angle, post_shock_plateau
+from repro.core.history import run_with_history
+from repro.io.snapshots import load_simulation, save_simulation
+
+
+def main() -> None:
+    cfg = SimulationConfig(
+        domain=Domain(49, 32),
+        freestream=Freestream(mach=4.0, c_mp=0.14, lambda_mfp=0.0, density=12.0),
+        wedge=Wedge(x_leading=10.0, base=12.5, angle_deg=30.0),
+        seed=7,
+    )
+    sim = Simulation(cfg)
+    print(f"{sim.particles.n} particles; running transient with "
+          "steady-state detection...")
+
+    t0 = time.time()
+    detector = SteadyStateDetector(window=30, tolerance=0.004, patience=8)
+    history = run_with_history(
+        sim, 600, detector=detector, stop_when_steady=True
+    )
+    print(
+        f"steady state detected after {len(history)} steps "
+        f"({time.time() - t0:.0f} s); population "
+        f"{int(history.series('n_flow')[-1])}, mass-balance residual "
+        f"{history.mass_balance_residual():.2e}"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = pathlib.Path(tmp) / "steady.npz"
+        save_simulation(sim, ckpt)
+        print(f"checkpoint written: {ckpt.stat().st_size / 1e6:.1f} MB")
+
+        # Averaging phase from the checkpoint.
+        averaged = load_simulation(ckpt)
+        averaged.run(250, sample=True)
+        rho = averaged.density_ratio_field()
+        fit = fit_shock_angle(rho, cfg.wedge)
+        plateau = post_shock_plateau(rho, cfg.wedge, fit)
+        print(
+            f"averaged 250 steps from the checkpoint: shock angle "
+            f"{fit.angle_deg:.2f} deg, density ratio {plateau:.2f}"
+        )
+
+        # Exactness check: continue the original and a fresh restore in
+        # lockstep; they must agree bit for bit.
+        twin = load_simulation(ckpt)
+        sim.run(30)
+        twin.run(30)
+        identical = np.array_equal(sim.particles.x, twin.particles.x)
+        print(f"restore is bitwise-exact over 30 further steps: {identical}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""No-slip walls (Future Work): boundary layers in the wind tunnel.
+
+"Specifically, the boundary conditions should include no slip adiabatic
+and isothermal walls."  This example runs the empty tunnel with all
+three wall models and prints the near-wall velocity profile: specular
+walls keep full slip (plug flow to the wall), diffuse/adiabatic walls
+drag the gas and grow a boundary layer.  The isothermal wall is also
+run cold to show wall heat extraction.
+
+Run:
+    python examples/noslip_walls.py
+"""
+
+import time
+
+from repro import Domain, Freestream, Simulation, SimulationConfig
+
+DOMAIN = Domain(60, 24)
+FS = Freestream(mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=10.0)
+STEPS = (250, 250)
+
+
+def run(wall_model: str, wall_c_mp: float = None):
+    cfg = SimulationConfig(
+        domain=DOMAIN, freestream=FS, wedge=None, seed=3
+    )
+    sim = Simulation(cfg)
+    # Swap the wall model in the assembled boundary machinery.
+    from repro.core.boundary import WindTunnelBoundaries
+
+    sim.boundaries = WindTunnelBoundaries(
+        domain=DOMAIN,
+        freestream=FS,
+        wedge=None,
+        wall_model=wall_model,
+        wall_c_mp=wall_c_mp,
+    )
+    sim.run(STEPS[0])
+    sim.run(STEPS[1], sample=True)
+    return sim
+
+
+def main() -> None:
+    cases = [
+        ("specular", None),
+        ("adiabatic", None),
+        ("diffuse", FS.c_mp),        # isothermal at freestream T
+        ("diffuse", 0.5 * FS.c_mp),  # cold isothermal wall
+    ]
+    print(f"freestream speed {FS.speed:.3f} cells/step; sampling the "
+          f"streamwise velocity profile at x = 40-55\n")
+    print(f"{'wall model':>22s} | u(y) / U for y = 0.5, 1.5, 2.5, 6.5, 11.5")
+    for model, wall_c in cases:
+        t0 = time.time()
+        sim = run(model, wall_c)
+        u, _, _ = sim.sampler.mean_velocity()
+        profile = u[40:55, [0, 1, 2, 6, 11]].mean(axis=0) / FS.speed
+        label = model if wall_c is None or wall_c == FS.c_mp else "diffuse(cold)"
+        vals = "  ".join(f"{p:5.2f}" for p in profile)
+        print(f"{label:>22s} | {vals}   ({time.time()-t0:.0f} s)")
+    print(
+        "\nReadings: specular walls keep u ~ U down to the wall (full "
+        "slip);\nno-slip walls drag the first cells toward zero and the "
+        "deficit\ndiffuses outward -- a developing boundary layer."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The reservoir trick: rectangular velocities Gaussianize by collision.
+
+The paper avoids sampling Gaussians on a bit-serial machine: particles
+parked in the reservoir get *rectangular* (uniform) velocities with the
+freestream variance, and "after a few time steps collisions with other
+reservoir particles relaxes these to the correct Gaussian
+distributions."  This example watches that relaxation happen: excess
+kurtosis climbs from the uniform value (-1.2) to the Gaussian value (0)
+within a handful of collision rounds, while energy and momentum stay
+exactly conserved.
+
+Run:
+    python examples/reservoir_relaxation.py
+"""
+
+import numpy as np
+
+from repro import Freestream
+from repro.core.reservoir import Reservoir
+from repro.physics.distributions import excess_kurtosis, speed_distribution_chi2
+from repro.rng import make_rng
+
+
+def main() -> None:
+    rng = make_rng(7)
+    fs = Freestream(mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=10.0)
+    res = Reservoir(fs)
+    res.deposit(rng, 40_000)
+
+    def report(label: str) -> None:
+        p = res.particles
+        k = excess_kurtosis(np.column_stack((p.u, p.v, p.w))).mean()
+        chi2 = speed_distribution_chi2(
+            np.column_stack((p.u - p.u.mean(), p.v, p.w)), fs.c_mp
+        )
+        print(
+            f"{label:>10s}: kurtosis {k:+.3f}  "
+            f"speed-dist chi2/bin {chi2:7.1f}  "
+            f"E {p.total_energy():.3f}  <u> {p.u.mean():.4f}"
+        )
+
+    print(f"reservoir of {res.size} particles at freestream drift "
+          f"{fs.speed:.3f} cells/step")
+    print("(Gaussian has kurtosis 0; the rectangular start has -1.2)\n")
+    report("initial")
+    for round_no in range(1, 9):
+        res.mix(rng, rounds=1)
+        report(f"round {round_no}")
+
+    print(
+        "\nkurtosis reaches ~0 and the speed distribution matches the "
+        "Maxwell pdf\nafter a few rounds -- no transcendental sampling "
+        "needed, as the paper argues."
+    )
+
+
+if __name__ == "__main__":
+    main()

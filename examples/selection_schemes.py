@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Compare the three collision-selection schemes the paper discusses.
+
+Runs Bird's per-cell time counter, the Nanbu/Ploss one-sided scheme and
+the McDonald-Baganoff pairwise selection rule on an identical heat-bath
+relaxation workload and prints throughput, conservation drift and
+distribution quality -- the quantitative version of the paper's
+"Selection of Collision Partners" argument.
+
+Run:
+    python examples/selection_schemes.py
+"""
+
+from repro.baselines import (
+    BaganoffSelection,
+    BirdNTC,
+    BirdTimeCounter,
+    HeatBath,
+    NanbuPloss,
+)
+from repro.physics.freestream import Freestream
+
+
+def main() -> None:
+    fs = Freestream(mach=4.0, c_mp=0.14, lambda_mfp=2.0, density=100.0)
+    bath = HeatBath(n_particles=40_000, n_cells=400, freestream=fs)
+    print(
+        f"heat bath: {bath.n_particles} particles, {bath.n_cells} cells, "
+        f"P_c,inf = {fs.collision_probability:.3f}\n"
+    )
+    header = (
+        f"{'scheme':>20s} {'collisions':>11s} {'E drift':>10s} "
+        f"{'p drift':>10s} {'kurtosis':>9s} {'seconds':>8s}"
+    )
+    print(header)
+    for scheme in (
+        BaganoffSelection(fs),
+        BirdTimeCounter(fs),
+        BirdNTC(fs),
+        NanbuPloss(fs),
+    ):
+        r = bath.run(scheme, steps=30, seed=3)
+        print(
+            f"{r.name:>20s} {r.total_collisions:11d} "
+            f"{r.energy_drift:10.2e} {r.momentum_drift:10.2e} "
+            f"{r.final_kurtosis:9.3f} {r.seconds:8.2f}"
+        )
+
+    print(
+        "\nReadings (the paper's argument):\n"
+        "  * mcdonald-baganoff and bird conserve exactly; nanbu-ploss\n"
+        "    drifts (it conserves only the cell means);\n"
+        "  * mcdonald-baganoff is fully vectorized at particle level,\n"
+        "    so it runs far faster than bird's per-cell counter loop;\n"
+        "  * all three Gaussianize the bath (kurtosis -> 0)."
+    )
+
+
+if __name__ == "__main__":
+    main()

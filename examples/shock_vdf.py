@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Inside the shock: the velocity distribution a fluid code can't see.
+
+Places velocity-distribution probes in the freestream, inside the
+oblique shock front, and in the post-shock layer of the rarefied wedge
+flow, then prints ASCII histograms of the streamwise velocity with the
+local equilibrium (Maxwellian) overlaid.  The freestream and post-shock
+probes match their Maxwellians; the front probe carries *excess*
+variance over any local equilibrium -- the two-stream kinetic structure
+that motivates particle methods.
+
+Run:
+    python examples/shock_vdf.py
+"""
+
+import math
+import time
+
+import numpy as np
+
+from repro import Domain, Freestream, Simulation, SimulationConfig, Wedge
+from repro.analysis.vdf import VDFProbe, maxwellian_reference
+from repro.physics import theory
+
+
+def ascii_hist(values, lo, hi, bins=48, width=46, overlay=None):
+    counts, edges = np.histogram(values, bins=bins, range=(lo, hi))
+    peak = counts.max()
+    lines = []
+    for i, c in enumerate(counts):
+        bar = "#" * int(round(c / peak * width))
+        marker = ""
+        if overlay is not None:
+            o = int(round(overlay[i] / overlay.max() * width))
+            if o >= len(bar):
+                marker = " " * (o - len(bar)) + "."
+        center = 0.5 * (edges[i] + edges[i + 1])
+        lines.append(f"{center:7.3f} |{bar}{marker}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    fs = Freestream(mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=14.0)
+    cfg = SimulationConfig(
+        domain=Domain(49, 32),
+        freestream=fs,
+        wedge=Wedge(x_leading=10.0, base=12.5, angle_deg=30.0),
+        seed=33,
+    )
+    sim = Simulation(cfg)
+    print(f"running {sim.particles.n} particles...")
+    t0 = time.time()
+    sim.run(200)
+    probes = {
+        "freestream": VDFProbe((10, 20), (22, 28)),
+        "shock front": VDFProbe((18.0, 22.0), (8.5, 12.0)),
+        "post-shock layer": VDFProbe((26.0, 32.0), (8.0, 12.0)),
+    }
+    sim.probes = list(probes.values())
+    sim.run(260, sample=True)
+    print(f"done in {time.time() - t0:.0f} s")
+
+    beta = theory.shock_angle(4.0, math.radians(30.0))
+    t_ratio = theory.normal_shock_temperature_ratio(4.0 * math.sin(beta))
+    eq_var = {
+        "freestream": fs.c_mp**2 / 2,
+        "shock front": fs.c_mp**2 / 2 * t_ratio,   # hottest equilibrium
+        "post-shock layer": fs.c_mp**2 / 2 * t_ratio,
+    }
+
+    lo, hi = -0.3, 0.9
+    centers = np.linspace(lo, hi, 48)
+    for name, probe in probes.items():
+        m = probe.moments()
+        overlay = maxwellian_reference(
+            math.sqrt(2 * m["variance"]), m["mean"], centers
+        )
+        excess = m["variance"] / eq_var[name] - 1.0
+        print(
+            f"\n--- {name}: n={probe.n_samples}, <u>={m['mean']:.3f}, "
+            f"var={m['variance']:.4f} "
+            f"(vs hottest equilibrium: {excess:+.1%})"
+        )
+        print("(bars: measured; dots: Gaussian with the same mean/var)")
+        print(ascii_hist(probe.values(), lo, hi, overlay=overlay))
+
+    print(
+        "\nReading: the freestream and post-shock distributions sit on "
+        "their Gaussians;\nthe front's variance exceeds the hottest "
+        "local equilibrium -- a super-equilibrium\n(two-stream) state "
+        "only a kinetic method represents."
+    )
+
+
+if __name__ == "__main__":
+    main()

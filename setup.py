@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so the package installs on minimal,
+offline environments where the `wheel` package (needed by pip's PEP 660
+editable build path) is unavailable:
+
+    python setup.py develop    # editable install without wheel
+"""
+
+from setuptools import setup
+
+setup()

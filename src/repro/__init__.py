@@ -1,0 +1,55 @@
+"""repro: reproduction of Dagum (1989), "Implementation of a Hypersonic
+Rarefied Flow Particle Simulation on the Connection Machine".
+
+The package implements, from scratch:
+
+* the Stanford (Baganoff / McDonald) direct particle simulation (DSMC)
+  algorithm with the paper's fine-grained data-parallel structure
+  (:mod:`repro.core`),
+* a Connection Machine 2 emulation substrate with virtual processors,
+  scans, sort, router, fixed-point arithmetic and a calibrated
+  performance model (:mod:`repro.cm`, :mod:`repro.fixedpoint`),
+* the gas physics and 2-D inviscid theory used for validation
+  (:mod:`repro.physics`),
+* the wind-tunnel geometry with the wedge body and fractional cell
+  volumes (:mod:`repro.geometry`),
+* the baseline collision schemes the paper compares against
+  (:mod:`repro.baselines`), and
+* shock metrology that extracts the numbers the paper reads off its
+  figures (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import Simulation, SimulationConfig
+    sim = Simulation(SimulationConfig(seed=7))
+    sim.run(300)                 # transient to steady state
+    sim.run(400, sample=True)    # time-average the solution
+    rho = sim.density_ratio_field()
+"""
+
+from repro.constants import GAMMA
+from repro.core.particles import ParticleArrays
+from repro.core.simulation import Simulation, SimulationConfig, StepDiagnostics
+from repro.core.engine_cm import CMSimulation
+from repro.geometry.domain import Domain
+from repro.geometry.wedge import Wedge
+from repro.physics.freestream import Freestream
+from repro.physics.molecules import MolecularModel, hard_sphere, maxwell_molecule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GAMMA",
+    "ParticleArrays",
+    "Simulation",
+    "SimulationConfig",
+    "StepDiagnostics",
+    "CMSimulation",
+    "Domain",
+    "Wedge",
+    "Freestream",
+    "MolecularModel",
+    "maxwell_molecule",
+    "hard_sphere",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Baseline collision schemes the paper compares against.
+
+"Selection of Collision Partners" discusses three families:
+
+* **Bird's Monte Carlo method** (:mod:`~repro.baselines.bird`): random
+  pairs within a cell collide "until the asynchronous cell time exceeds
+  the global simulation time".  Parallelizable only at cell level,
+  strongly influenced by cell-population fluctuations.
+* **Nanbu's scheme** and **Ploss's O(N) vectorization**
+  (:mod:`~repro.baselines.nanbu`): a per-particle collision probability
+  with one-sided updates; better theoretical footing but "conserve only
+  the mean energy and momentum of a cell".
+* The paper's **McDonald-Baganoff selection rule** (:mod:`repro.core`):
+  per-pair probability, exact per-collision conservation, particle-level
+  parallelism.
+
+The ablation benches run all three on identical relaxation workloads and
+report throughput, conservation drift, and equilibrium quality.
+"""
+
+from repro.baselines.common import HeatBath, SchemeResult
+from repro.baselines.bird import BirdTimeCounter
+from repro.baselines.bird_ntc import BirdNTC
+from repro.baselines.nanbu import NanbuPloss
+from repro.baselines.baganoff import BaganoffSelection
+
+__all__ = [
+    "HeatBath",
+    "SchemeResult",
+    "BirdTimeCounter",
+    "BirdNTC",
+    "NanbuPloss",
+    "BaganoffSelection",
+]

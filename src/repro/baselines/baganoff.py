@@ -1,0 +1,47 @@
+"""The paper's own scheme wrapped for the heat-bath comparison.
+
+This is just the core pipeline (randomized sort -> even/odd pairing ->
+selection rule -> permutation collision) exposed through the common
+:class:`~repro.baselines.common.CollisionScheme` interface so the
+ablation bench runs all three schemes on identical workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import sort_population_by_cell
+from repro.core.cells import cell_populations
+from repro.core.collision import collide_pairs
+from repro.core.pairing import even_odd_pairs
+from repro.core.particles import ParticleArrays
+from repro.core.selection import select_collisions
+from repro.physics.freestream import Freestream
+from repro.physics.molecules import MolecularModel, maxwell_molecule
+
+
+class BaganoffSelection:
+    """McDonald-Baganoff pairwise selection (the paper's algorithm)."""
+
+    name = "mcdonald-baganoff"
+
+    def __init__(
+        self, freestream: Freestream, model: MolecularModel = None
+    ) -> None:
+        self.freestream = freestream
+        self.model = model or maxwell_molecule()
+
+    def collide_step(
+        self, particles: ParticleArrays, n_cells: int, rng: np.random.Generator
+    ) -> int:
+        """One randomized-sort / pair / select / collide round."""
+        sort_population_by_cell(particles, rng)
+        pairs = even_odd_pairs(particles.cell)
+        counts = cell_populations(particles.cell, n_cells)
+        sel = select_collisions(
+            particles, pairs, self.freestream, self.model, counts, rng=rng
+        )
+        first = pairs.first[sel.accept]
+        second = pairs.second[sel.accept]
+        stats = collide_pairs(particles, first, second, rng=rng)
+        return stats.n_collisions

@@ -1,0 +1,147 @@
+"""Shared harness for comparing collision schemes.
+
+The comparison workload is a spatially uniform **heat bath**: a periodic
+box partitioned into cells, no bulk flow, particles initialized far from
+equilibrium (e.g. a bimodal or rectangular velocity distribution).  Any
+correct scheme must (a) conserve what it claims to conserve and (b)
+relax the distribution to a Maxwellian at the bath temperature.  The
+harness advances motionless collision rounds (the collision operator in
+isolation) and records conservation drift and distribution diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.particles import ParticleArrays
+from repro.errors import ConfigurationError
+from repro.physics.distributions import excess_kurtosis, sample_rectangular
+from repro.physics.freestream import Freestream
+from repro.rng import make_rng, random_permutation_table
+
+
+class CollisionScheme(Protocol):
+    """One motionless collision round over a cell-partitioned population."""
+
+    name: str
+
+    def collide_step(
+        self, particles: ParticleArrays, n_cells: int, rng: np.random.Generator
+    ) -> int:
+        """Perform one step of collisions; returns collisions done."""
+        ...
+
+
+@dataclass
+class SchemeResult:
+    """Outcome of a heat-bath relaxation run."""
+
+    name: str
+    steps: int
+    total_collisions: int
+    energy_drift: float        # |E_end - E_0| / E_0
+    momentum_drift: float      # |p_end - p_0| / (N c_mp)
+    final_kurtosis: float      # mean excess kurtosis over u,v,w (0 = Gaussian)
+    seconds: float
+
+
+class HeatBath:
+    """Uniform relaxation workload shared by all schemes.
+
+    Parameters
+    ----------
+    n_particles:
+        Population size.
+    n_cells:
+        Number of (conceptual) cells the population is scattered over.
+    freestream:
+        Supplies the thermal scale and collision probability anchor.
+        The bath has zero drift regardless of the freestream's Mach
+        number.
+    """
+
+    def __init__(
+        self,
+        n_particles: int = 20000,
+        n_cells: int = 64,
+        freestream: Freestream = None,
+        rotational_dof: int = 2,
+    ) -> None:
+        if n_particles < 2 or n_cells < 1:
+            raise ConfigurationError("need >= 2 particles and >= 1 cell")
+        self.n_particles = n_particles
+        self.n_cells = n_cells
+        self.freestream = freestream or Freestream(
+            mach=4.0, c_mp=0.14, lambda_mfp=2.0,
+            density=n_particles / n_cells,
+        )
+        self.rotational_dof = rotational_dof
+
+    def initial_population(self, rng: np.random.Generator) -> ParticleArrays:
+        """Rectangular (far-from-Gaussian) velocities, zero drift."""
+        n = self.n_particles
+        rdof = self.rotational_dof
+        vel = sample_rectangular(rng, n, self.freestream.c_mp)
+        rot = sample_rectangular(rng, n, self.freestream.c_mp, components=rdof)
+        return ParticleArrays(
+            x=np.zeros(n),
+            y=np.zeros(n),
+            u=vel[:, 0].copy(),
+            v=vel[:, 1].copy(),
+            w=vel[:, 2].copy(),
+            rot=rot,
+            perm=random_permutation_table(rng, n, length=3 + rdof),
+            cell=rng.integers(0, self.n_cells, size=n).astype(np.int64),
+        )
+
+    def run(
+        self,
+        scheme: CollisionScheme,
+        steps: int = 40,
+        seed: int = 0,
+        reshuffle_cells: bool = True,
+    ) -> SchemeResult:
+        """Relax the bath under ``scheme`` and report the diagnostics."""
+        import time
+
+        rng = make_rng(seed)
+        parts = self.initial_population(rng)
+        e0 = parts.total_energy()
+        p0 = parts.momentum()
+        t0 = time.perf_counter()
+        total = 0
+        for _ in range(steps):
+            if reshuffle_cells:
+                parts.cell = rng.integers(
+                    0, self.n_cells, size=parts.n
+                ).astype(np.int64)
+            total += scheme.collide_step(parts, self.n_cells, rng)
+        dt = time.perf_counter() - t0
+        e1 = parts.total_energy()
+        p1 = parts.momentum()
+        kurt = float(
+            np.mean(
+                excess_kurtosis(np.column_stack((parts.u, parts.v, parts.w)))
+            )
+        )
+        scale = parts.n * self.freestream.c_mp
+        return SchemeResult(
+            name=scheme.name,
+            steps=steps,
+            total_collisions=total,
+            energy_drift=abs(e1 - e0) / e0 if e0 else 0.0,
+            momentum_drift=float(np.linalg.norm(p1 - p0)) / scale,
+            final_kurtosis=kurt,
+            seconds=dt,
+        )
+
+
+def sort_population_by_cell(
+    particles: ParticleArrays, rng: np.random.Generator
+) -> None:
+    """Randomized cell sort used by pair-based schemes on the bath."""
+    keys = particles.cell * 8 + rng.integers(0, 8, size=particles.n)
+    particles.reorder_inplace(np.argsort(keys, kind="stable"))

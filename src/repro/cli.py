@@ -1,0 +1,257 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands:
+
+* ``wedge`` -- the validation experiment (figures 1-6 metrics): runs the
+  Mach-4 wedge tunnel and prints shock angle, density ratio, thickness,
+  wake metrics and the Prandtl-Meyer fan check against theory.
+* ``heatbath`` -- the collision-scheme comparison (Bird / Nanbu /
+  McDonald-Baganoff) on a uniform relaxation workload.
+* ``timing`` -- the figure-7 curve from the calibrated CM-2 timing
+  model (optionally measured with the emulation engine).
+* ``info`` -- version, configuration defaults and the paper constants.
+
+Invoke as ``python -m repro <subcommand> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Dagum (1989): hypersonic rarefied flow "
+            "particle simulation on the Connection Machine"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    w = sub.add_parser("wedge", help="run the Mach-4 wedge validation")
+    w.add_argument("--mach", type=float, default=4.0)
+    w.add_argument("--angle", type=float, default=30.0, help="wedge angle, deg")
+    w.add_argument("--nx", type=int, default=98)
+    w.add_argument("--ny", type=int, default=64)
+    w.add_argument("--density", type=float, default=12.0,
+                   help="particles per cell (paper ~80)")
+    w.add_argument("--lambda-mfp", type=float, default=0.0, dest="lambda_mfp",
+                   help="freestream mean free path, cells (0 = continuum)")
+    w.add_argument("--transient", type=int, default=350)
+    w.add_argument("--average", type=int, default=350)
+    w.add_argument("--seed", type=int, default=1989)
+    w.add_argument("--contours", action="store_true",
+                   help="print ASCII density contours")
+    w.add_argument("--save", type=str, default=None,
+                   help="write the density field to this .npz path")
+    w.add_argument("--vtk", type=str, default=None,
+                   help="write density/temperature/Mach fields to this "
+                        ".vtk path (ParaView)")
+
+    h = sub.add_parser("heatbath", help="compare collision schemes")
+    h.add_argument("--particles", type=int, default=20000)
+    h.add_argument("--cells", type=int, default=200)
+    h.add_argument("--steps", type=int, default=20)
+    h.add_argument("--seed", type=int, default=3)
+
+    t = sub.add_parser("timing", help="figure-7 timing curve")
+    t.add_argument("--processors", type=int, default=32 * 1024)
+    t.add_argument("--measure", action="store_true",
+                   help="also run the emulation engine (scaled machine)")
+
+    sub.add_parser("info", help="package and paper constants")
+    return parser
+
+
+def _cmd_wedge(args: argparse.Namespace) -> int:
+    from repro.analysis.contour import render_ascii, save_field_npz
+    from repro.analysis.shock import (
+        fit_shock_angle,
+        post_shock_plateau,
+        shock_thickness,
+        wake_floor_ridge,
+    )
+    from repro.core.simulation import Simulation, SimulationConfig
+    from repro.geometry.domain import Domain
+    from repro.geometry.wedge import Wedge
+    from repro.physics import theory
+    from repro.physics.freestream import Freestream
+
+    domain = Domain(args.nx, args.ny)
+    wedge = Wedge(
+        x_leading=args.nx / 4.9,
+        base=args.nx / 3.92,
+        angle_deg=args.angle,
+    )
+    config = SimulationConfig(
+        domain=domain,
+        freestream=Freestream(
+            mach=args.mach, c_mp=0.14, lambda_mfp=args.lambda_mfp,
+            density=args.density,
+        ),
+        wedge=wedge,
+        seed=args.seed,
+    )
+    sim = Simulation(config)
+    print(f"{sim.particles.n} particles, grid {args.nx}x{args.ny}")
+    t0 = time.time()
+    sim.run(args.transient)
+    sim.run(args.average, sample=True)
+    print(f"ran {args.transient}+{args.average} steps in {time.time()-t0:.0f} s")
+
+    rho = sim.density_ratio_field()
+    beta = theory.shock_angle_deg(args.mach, args.angle)
+    ratio = theory.oblique_shock_density_ratio(
+        args.mach, math.radians(args.angle)
+    )
+    from repro.errors import ReproError
+
+    try:
+        fit = fit_shock_angle(rho, wedge)
+        plateau = post_shock_plateau(rho, wedge, fit)
+        thick = shock_thickness(rho, wedge, fit, plateau=plateau)
+        print(f"shock angle     : {fit.angle_deg:7.2f} deg (theory {beta:.2f})")
+        print(f"density ratio   : {plateau:7.2f}     (theory {ratio:.2f})")
+        print(f"shock thickness : {thick:7.2f} cells")
+    except ReproError as exc:
+        print(
+            f"shock metrology unavailable ({exc}); increase --density, "
+            "--transient or --average"
+        )
+    try:
+        ridge = wake_floor_ridge(rho, wedge, domain)
+        print(f"wake floor ridge: {ridge:7.2f}     (> 1: wake shock present)")
+    except ReproError:
+        pass
+    if args.contours:
+        print(render_ascii(rho))
+    if args.save:
+        save_field_npz(args.save, density_ratio=rho)
+        print(f"field written to {args.save}")
+    if args.vtk:
+        from repro.analysis import thermo
+        from repro.io.vtk import write_vtk_fields
+
+        write_vtk_fields(
+            args.vtk,
+            density_ratio=rho,
+            temperature_ratio=thermo.temperature_ratio_field(
+                sim.sampler, config.freestream
+            ),
+            mach=thermo.mach_field(sim.sampler, config.freestream),
+        )
+        print(f"VTK fields written to {args.vtk}")
+    return 0
+
+
+def _cmd_heatbath(args: argparse.Namespace) -> int:
+    from repro.baselines import (
+        BaganoffSelection,
+        BirdTimeCounter,
+        HeatBath,
+        NanbuPloss,
+    )
+    from repro.physics.freestream import Freestream
+
+    fs = Freestream(
+        mach=4.0, c_mp=0.14, lambda_mfp=2.0,
+        density=args.particles / args.cells,
+    )
+    bath = HeatBath(
+        n_particles=args.particles, n_cells=args.cells, freestream=fs
+    )
+    print(
+        f"{'scheme':>20s} {'collisions':>11s} {'E drift':>10s} "
+        f"{'p drift':>10s} {'kurtosis':>9s} {'seconds':>8s}"
+    )
+    for scheme in (BaganoffSelection(fs), BirdTimeCounter(fs), NanbuPloss(fs)):
+        r = bath.run(scheme, steps=args.steps, seed=args.seed)
+        print(
+            f"{r.name:>20s} {r.total_collisions:11d} "
+            f"{r.energy_drift:10.2e} {r.momentum_drift:10.2e} "
+            f"{r.final_kurtosis:9.3f} {r.seconds:8.2f}"
+        )
+    return 0
+
+
+def _cmd_timing(args: argparse.Namespace) -> int:
+    from repro.cm.machine import CM2
+    from repro.cm.timing import CM2TimingModel
+
+    machine = CM2(n_processors=args.processors)
+    tm = CM2TimingModel(machine=machine)
+    counts = [args.processors * v for v in (1, 2, 4, 8, 16)]
+    curve = tm.predict_curve(counts)
+    print(f"machine: {args.processors} processors (model prediction)")
+    print(f"{'particles':>10s} {'VPR':>4s} {'us/particle':>12s}")
+    for n in counts:
+        pb = curve[n]
+        print(f"{n:10d} {n // args.processors:4d} {pb.total:12.2f}")
+    if args.measure:
+        from repro.core.engine_cm import CMSimulation
+        from repro.core.simulation import SimulationConfig
+        from repro.geometry.domain import Domain
+        from repro.physics.freestream import Freestream
+
+        small = CM2(n_processors=min(args.processors, 512))
+        tm2 = CM2TimingModel(machine=small)
+        print(f"\nmeasured on emulated {small.n_processors}-processor machine:")
+        for vpr in (1, 2, 4, 8, 16):
+            n_target = small.n_processors * vpr
+            ny = max(int(np.sqrt(n_target / 16.0)), 6)
+            cfg = SimulationConfig(
+                domain=Domain(2 * ny, ny),
+                freestream=Freestream(
+                    mach=4.0, c_mp=0.14, lambda_mfp=0.5,
+                    density=n_target / (2 * ny * ny),
+                ),
+                wedge=None,
+                seed=7,
+            )
+            sim = CMSimulation(cfg, machine=small)
+            sim.run(5)
+            print(f"  VPR {vpr:2d}: {sim.phase_breakdown(tm2).total:6.2f} us")
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    import repro
+    from repro import constants
+
+    print(f"repro {repro.__version__}")
+    print(
+        "paper: Dagum (1989), 'Implementation of a Hypersonic Rarefied "
+        "Flow\nParticle Simulation on the Connection Machine' "
+        "(RIACS TR 88.46)"
+    )
+    print(f"paper grid          : {constants.PAPER_GRID_SHAPE}")
+    print(f"paper particles     : {constants.PAPER_TOTAL_PARTICLES}")
+    print(f"paper CM-2 time     : {constants.PAPER_CM2_US_PER_PARTICLE}"
+          " us/particle/step")
+    print(f"paper Cray-2 time   : {constants.PAPER_CRAY2_US_PER_PARTICLE}"
+          " us/particle/step")
+    print(f"paper phase split   : {constants.PAPER_PHASE_FRACTIONS}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "wedge": _cmd_wedge,
+        "heatbath": _cmd_heatbath,
+        "timing": _cmd_timing,
+        "info": _cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

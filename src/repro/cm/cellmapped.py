@@ -1,0 +1,111 @@
+"""An executable model of the rejected cells-to-processors mapping.
+
+The paper dismisses the cell mapping in two paragraphs of analysis;
+this module *runs* its motion step on a real particle snapshot so the
+ABL3 bench can report measured numbers:
+
+* migration traffic routed through the 8 serialized NEWS events,
+* the SIMD pacing penalty (every event as slow as its busiest cell),
+* memory provisioning (slots per processor sized by the densest cell),
+* and the equivalent particle-mapping cost for the same snapshot.
+
+Only the motion/migration step is modelled -- it is where the two
+mappings differ; the collision work is load-balanced by the sort in the
+particle mapping and paced by the fullest cell in the cell mapping,
+which the occupancy statistics of :mod:`repro.cm.mapping` already
+quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.cm.news import serialized_neighbour_exchange
+from repro.cm.timing import W_ALU
+from repro.core.particles import ParticleArrays
+from repro.errors import MachineError
+from repro.geometry.domain import Domain
+
+
+@dataclass(frozen=True)
+class CellMappedStepReport:
+    """Measured cost/utilization of one cell-mapped motion step."""
+
+    n_particles: int
+    migration_fraction: float
+    exchange_cost: float            # serialized NEWS events (raw units)
+    compute_cost: float             # paced by the fullest cell
+    memory_slots_per_processor: int # provisioning for the densest cell
+    mean_event_utilization: float
+    particle_mapping_cost: float    # same step, particle mapping
+
+    @property
+    def total_cost(self) -> float:
+        return self.exchange_cost + self.compute_cost
+
+    @property
+    def cost_ratio(self) -> float:
+        """Cell-mapped / particle-mapped cost for the identical step."""
+        if self.particle_mapping_cost <= 0:
+            raise MachineError("particle mapping cost must be positive")
+        return self.total_cost / self.particle_mapping_cost
+
+
+def cell_mapped_motion_step(
+    particles: ParticleArrays,
+    domain: Domain,
+    bits_per_particle: int = 9 * 32,
+    motion_ops: float = 16.0,
+) -> CellMappedStepReport:
+    """Execute the cell mapping's motion step on a snapshot.
+
+    Computes, per cell, how many particles leave toward each of the 8
+    neighbours in one time step, runs the serialized exchange, and
+    accounts the compute at the pace of the fullest cell.
+    """
+    n = particles.n
+    if n == 0:
+        raise MachineError("empty snapshot")
+    i0, j0 = domain.cell_coords(particles.x, particles.y)
+    x1 = np.clip(particles.x + particles.u, 0.0, domain.width - 1e-9)
+    y1 = np.clip(particles.y + particles.v, 0.0, domain.height - 1e-9)
+    i1, j1 = domain.cell_coords(x1, y1)
+    di = np.clip(i1 - i0, -1, 1)
+    dj = np.clip(j1 - j0, -1, 1)
+
+    outgoing: Dict[Tuple[int, int], np.ndarray] = {}
+    migrating = (di != 0) | (dj != 0)
+    for off in {(int(a), int(b)) for a, b in zip(di[migrating], dj[migrating])}:
+        mask = migrating & (di == off[0]) & (dj == off[1])
+        grid = np.zeros((domain.nx, domain.ny), dtype=np.int64)
+        np.add.at(grid, (i0[mask], j0[mask]), 1)
+        outgoing[off] = grid
+
+    _incoming, stats = serialized_neighbour_exchange(
+        outgoing, bits_per_particle=bits_per_particle
+    )
+
+    pops = np.zeros((domain.nx, domain.ny), dtype=np.int64)
+    np.add.at(pops, (i0, j0), 1)
+    peak_pop = int(pops.max())
+    # SIMD compute: every processor steps through the fullest cell's
+    # particle slots, 32-bit ops.
+    compute = W_ALU * 32.0 * motion_ops * peak_pop
+    # Particle mapping: vpr slots per processor with a processor per
+    # mean-population cell-equivalent (same machine size: one processor
+    # per cell, n/cells particles per processor on average).
+    vpr = -(-n // domain.n_cells)
+    particle_cost = W_ALU * 32.0 * motion_ops * vpr
+
+    return CellMappedStepReport(
+        n_particles=n,
+        migration_fraction=float(np.count_nonzero(migrating)) / n,
+        exchange_cost=stats["total_cost"],
+        compute_cost=compute,
+        memory_slots_per_processor=peak_pop,
+        mean_event_utilization=stats["mean_event_utilization"],
+        particle_mapping_cost=particle_cost,
+    )

@@ -1,0 +1,221 @@
+"""Per-virtual-processor data fields with cost-charged operations.
+
+A :class:`Field` is the emulation's analogue of a C*/Paris *parallel
+variable*: one value per virtual processor, stored as a NumPy array.
+Arithmetic between fields charges bit-serial ALU costs to the attached
+:class:`~repro.cm.timing.CostModel` (if any), so code written against
+fields is automatically accounted.
+
+Fields also carry the CM notion of a *context*: a boolean activity mask.
+Operations compute everywhere (the SIMD hardware burns the cycles
+regardless) but :meth:`Field.merge` only commits results where the
+context is set -- exactly the semantics of `where` blocks in C*.
+
+The physics engines mostly use raw arrays plus explicit cost charges
+(hot paths), but the substrate is complete and independently tested, and
+the scan/sort/router modules accept fields or arrays interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.cm.machine import VPGeometry
+from repro.cm.timing import CostModel
+from repro.errors import MachineError
+
+ArrayOrField = Union[np.ndarray, "Field", int, float]
+
+
+class Field:
+    """A per-VP value array bound to a geometry and optional cost model.
+
+    Parameters
+    ----------
+    data:
+        1-D array with one element per virtual processor.
+    geometry:
+        The VP geometry the field lives on.
+    cost:
+        Optional cost model; when present every elementwise operation
+        charges ``bits`` ALU bit-ops per VP slice.
+    bits:
+        Declared operand width for cost purposes (default 32, the
+        paper's fixed-point word).
+    """
+
+    __slots__ = ("data", "geometry", "cost", "bits")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        geometry: VPGeometry,
+        cost: Optional[CostModel] = None,
+        bits: int = 32,
+    ) -> None:
+        data = np.asarray(data)
+        if data.ndim != 1:
+            raise MachineError("fields are one value per VP (1-D)")
+        if data.shape[0] != geometry.n_virtual:
+            raise MachineError(
+                f"field length {data.shape[0]} != VP set size "
+                f"{geometry.n_virtual}"
+            )
+        self.data = data
+        self.geometry = geometry
+        self.cost = cost
+        self.bits = bits
+
+    # -- construction helpers -------------------------------------------
+
+    @classmethod
+    def zeros(
+        cls,
+        geometry: VPGeometry,
+        dtype=np.int32,
+        cost: Optional[CostModel] = None,
+        bits: int = 32,
+    ) -> "Field":
+        return cls(np.zeros(geometry.n_virtual, dtype=dtype), geometry, cost, bits)
+
+    @classmethod
+    def from_scalar(
+        cls,
+        value,
+        geometry: VPGeometry,
+        dtype=np.int32,
+        cost: Optional[CostModel] = None,
+        bits: int = 32,
+    ) -> "Field":
+        return cls(
+            np.full(geometry.n_virtual, value, dtype=dtype), geometry, cost, bits
+        )
+
+    def like(self, data: np.ndarray) -> "Field":
+        """Wrap ``data`` with this field's geometry/cost/bits."""
+        return Field(data, self.geometry, self.cost, self.bits)
+
+    # -- internals --------------------------------------------------------
+
+    def _coerce(self, other: ArrayOrField) -> np.ndarray:
+        if isinstance(other, Field):
+            if other.geometry is not self.geometry and (
+                other.geometry != self.geometry
+            ):
+                raise MachineError("fields live on different VP geometries")
+            return other.data
+        return other  # scalar or ndarray; numpy broadcasting applies
+
+    def _charge(self, nops: float = 1.0) -> None:
+        if self.cost is not None:
+            self.cost.elementwise(bits=self.bits, nops=nops)
+
+    def _binop(self, other: ArrayOrField, fn) -> "Field":
+        self._charge()
+        return self.like(fn(self.data, self._coerce(other)))
+
+    # -- arithmetic (each charges one elementwise op) ---------------------
+
+    def __add__(self, other: ArrayOrField) -> "Field":
+        return self._binop(other, np.add)
+
+    def __radd__(self, other: ArrayOrField) -> "Field":
+        return self._binop(other, lambda a, b: np.add(b, a))
+
+    def __sub__(self, other: ArrayOrField) -> "Field":
+        return self._binop(other, np.subtract)
+
+    def __rsub__(self, other: ArrayOrField) -> "Field":
+        return self._binop(other, lambda a, b: np.subtract(b, a))
+
+    def __mul__(self, other: ArrayOrField) -> "Field":
+        return self._binop(other, np.multiply)
+
+    def __rmul__(self, other: ArrayOrField) -> "Field":
+        return self._binop(other, lambda a, b: np.multiply(b, a))
+
+    def __floordiv__(self, other: ArrayOrField) -> "Field":
+        return self._binop(other, np.floor_divide)
+
+    def __mod__(self, other: ArrayOrField) -> "Field":
+        return self._binop(other, np.mod)
+
+    def __rshift__(self, other: ArrayOrField) -> "Field":
+        return self._binop(other, np.right_shift)
+
+    def __lshift__(self, other: ArrayOrField) -> "Field":
+        return self._binop(other, np.left_shift)
+
+    def __and__(self, other: ArrayOrField) -> "Field":
+        return self._binop(other, np.bitwise_and)
+
+    def __or__(self, other: ArrayOrField) -> "Field":
+        return self._binop(other, np.bitwise_or)
+
+    def __xor__(self, other: ArrayOrField) -> "Field":
+        return self._binop(other, np.bitwise_xor)
+
+    def __neg__(self) -> "Field":
+        self._charge()
+        return self.like(-self.data)
+
+    # -- comparisons -------------------------------------------------------
+
+    def __lt__(self, other: ArrayOrField) -> "Field":
+        return self._binop(other, np.less)
+
+    def __le__(self, other: ArrayOrField) -> "Field":
+        return self._binop(other, np.less_equal)
+
+    def __gt__(self, other: ArrayOrField) -> "Field":
+        return self._binop(other, np.greater)
+
+    def __ge__(self, other: ArrayOrField) -> "Field":
+        return self._binop(other, np.greater_equal)
+
+    def eq(self, other: ArrayOrField) -> "Field":
+        """Elementwise equality (named method; ``==`` is identity-free)."""
+        return self._binop(other, np.equal)
+
+    # -- context / merge ----------------------------------------------------
+
+    def merge(self, other: ArrayOrField, context: ArrayOrField) -> "Field":
+        """Commit ``other`` where ``context`` is true, else keep self.
+
+        The C* `where` semantics: cost of a full elementwise op is
+        charged regardless of how many VPs are active.
+        """
+        self._charge()
+        ctx = self._coerce(context)
+        return self.like(np.where(ctx, self._coerce(other), self.data))
+
+    # -- reductions (global OR / sum via the scan tree) ----------------------
+
+    def global_sum(self):
+        """Sum over all VPs (charged as one scan)."""
+        if self.cost is not None:
+            self.cost.scan(bits=self.bits, nscans=1)
+        return self.data.sum()
+
+    def global_max(self):
+        """Maximum over all VPs (charged as one scan)."""
+        if self.cost is not None:
+            self.cost.scan(bits=self.bits, nscans=1)
+        return self.data.max()
+
+    def global_or(self) -> bool:
+        """The CM's fast global-OR wire (charged as 1-bit scan)."""
+        if self.cost is not None:
+            self.cost.scan(bits=1, nscans=1)
+        return bool(np.any(self.data))
+
+    def __len__(self) -> int:
+        return self.geometry.n_virtual
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Field(n={self.geometry.n_virtual}, vpr={self.geometry.vpr}, "
+            f"dtype={self.data.dtype}, bits={self.bits})"
+        )

@@ -1,0 +1,178 @@
+"""The algorithm's inner step written as a CM data-parallel program.
+
+This module expresses one *motionless collision step* -- the heart of
+the paper's contribution -- purely in terms of the Connection Machine
+substrate primitives, the way the C*/Paris source would read:
+
+* per-VP :class:`~repro.cm.field.Field` variables for the particle
+  state,
+* :func:`~repro.cm.sort.sort_by_key` for the randomized cell sort,
+* segmented scans for the per-cell populations,
+* the even/odd neighbour exchange for partner state,
+* elementwise field arithmetic for the selection rule and the
+  permutation collision.
+
+It exists for two reasons: (1) as an executable fidelity check that the
+emulation substrate is complete enough to host the whole algorithm
+(tested against the NumPy reference for exact agreement given the same
+random inputs), and (2) as documentation -- this is what the paper's
+program structure looked like.
+
+The production engines do not route through this module (the NumPy
+engine skips the cost accounting entirely; the CM engine fuses the
+charges); see ``core/simulation.py`` and ``core/engine_cm.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cm.field import Field
+from repro.cm.machine import VPGeometry
+from repro.cm.scan import segment_counts
+from repro.cm.sort import sort_by_key
+from repro.cm.timing import CostLedger, CostModel
+from repro.core.particles import ParticleArrays
+from repro.core.permutation import apply_permutation
+from repro.errors import MachineError
+from repro.physics.freestream import Freestream
+from repro.physics.molecules import MolecularModel
+
+
+@dataclass
+class ProgramInputs:
+    """Pre-drawn random inputs so runs are exactly reproducible.
+
+    The CM program consumes randomness for: sort-key mixing, the
+    acceptance draws, the signs, and the permutation transpositions.
+    Drawing them up front lets the test compare this program against the
+    reference implementation bit for bit.
+    """
+
+    mix: np.ndarray            # (n,) ints in [0, sort_scale)
+    draws: np.ndarray          # (n // 2,) uniforms for acceptance
+    signs: np.ndarray          # (n // 2, k) +-1
+    transpositions: np.ndarray # (n,) swap indices in [0, k)
+
+
+def collision_step_program(
+    particles: ParticleArrays,
+    freestream: Freestream,
+    model: MolecularModel,
+    n_cells: int,
+    geometry: VPGeometry,
+    inputs: ProgramInputs,
+    sort_scale: int = 8,
+    ledger: Optional[CostLedger] = None,
+) -> int:
+    """One sort-select-collide step in CM data-parallel style.
+
+    Mutates ``particles`` in place (reordered by the sort, velocities
+    updated by the collisions).  Returns the number of collisions.
+    """
+    n = particles.n
+    if n < 2:
+        return 0
+    if geometry.n_virtual != n:
+        raise MachineError("geometry must match the population size")
+    cost = CostModel(geometry, ledger) if ledger is not None else None
+    k = 3 + particles.rotational_dof
+
+    # --- Phase: sort.  key = cell * scale + mix; sort all state. -------
+    if ledger is not None:
+        ctx = ledger.phase("sort")
+        ctx.__enter__()
+    cell_f = Field(particles.cell.astype(np.int64), geometry, cost, bits=32)
+    key_f = cell_f * sort_scale + inputs.mix
+    key_bits = max(int(key_f.data.max()).bit_length(), 1)
+    res = sort_by_key(
+        key_f.data, geometry=geometry, cost=cost, key_bits=key_bits
+    )
+    particles.reorder_inplace(res.order)
+    if ledger is not None:
+        ctx.__exit__(None, None, None)
+
+    # --- Phase: selection. ------------------------------------------------
+    if ledger is not None:
+        ctx = ledger.phase("selection")
+        ctx.__enter__()
+    cell_sorted = particles.cell
+    heads = np.empty(n, dtype=bool)
+    heads[0] = True
+    heads[1:] = cell_sorted[1:] != cell_sorted[:-1]
+    pops = segment_counts(heads, cost=cost)  # per-particle cell population
+
+    # Even/odd pairing: VP 2i looks at VP 2i+1.
+    n_pairs = n // 2
+    first = np.arange(n_pairs) * 2
+    second = first + 1
+    same_cell = cell_sorted[first] == cell_sorted[second]
+    if cost is not None:
+        cost.pair_exchange(payload_bits=32)  # partner cell index
+
+    # Selection rule (eq. (8) with optional speed factor).
+    if freestream.is_near_continuum:
+        prob = np.where(same_cell, 1.0, 0.0)
+    else:
+        density = pops[first].astype(np.float64)
+        prob = freestream.collision_probability * density / freestream.density
+        if not model.is_maxwell:
+            du = particles.u[first] - particles.u[second]
+            dv = particles.v[first] - particles.v[second]
+            dw = particles.w[first] - particles.w[second]
+            g = np.sqrt(du * du + dv * dv + dw * dw)
+            g_ref = np.sqrt(2.0) * freestream.mean_speed
+            prob = prob * model.speed_factor(g, g_ref)
+        prob = np.where(same_cell, np.minimum(prob, 1.0), 0.0)
+    if cost is not None:
+        cost.elementwise(bits=32, nops=14)
+    accept = inputs.draws[:n_pairs] < prob
+    if ledger is not None:
+        ctx.__exit__(None, None, None)
+
+    # --- Phase: collision. ---------------------------------------------------
+    if ledger is not None:
+        ctx = ledger.phase("collision")
+        ctx.__enter__()
+    a = first[accept]
+    b = second[accept]
+    m = a.size
+    if cost is not None:
+        cost.pair_exchange(payload_bits=5 * 32)
+        cost.elementwise(bits=32, nops=40)
+    if m:
+        mean = np.empty((m, k))
+        half = np.empty((m, k))
+        mean[:, 0] = 0.5 * (particles.u[a] + particles.u[b])
+        mean[:, 1] = 0.5 * (particles.v[a] + particles.v[b])
+        mean[:, 2] = 0.5 * (particles.w[a] + particles.w[b])
+        mean[:, 3:] = 0.5 * (particles.rot[a] + particles.rot[b])
+        half[:, 0] = 0.5 * (particles.u[a] - particles.u[b])
+        half[:, 1] = 0.5 * (particles.v[a] - particles.v[b])
+        half[:, 2] = 0.5 * (particles.w[a] - particles.w[b])
+        half[:, 3:] = 0.5 * (particles.rot[a] - particles.rot[b])
+
+        h_new = apply_permutation(half, particles.perm[a])
+        h_new = h_new * inputs.signs[accept][:, :k]
+
+        particles.u[a] = mean[:, 0] + h_new[:, 0]
+        particles.u[b] = mean[:, 0] - h_new[:, 0]
+        particles.v[a] = mean[:, 1] + h_new[:, 1]
+        particles.v[b] = mean[:, 1] - h_new[:, 1]
+        particles.w[a] = mean[:, 2] + h_new[:, 2]
+        particles.w[b] = mean[:, 2] - h_new[:, 2]
+        particles.rot[a] = mean[:, 3:] + h_new[:, 3:]
+        particles.rot[b] = mean[:, 3:] - h_new[:, 3:]
+
+        # Permutation refresh: one transposition per collided particle.
+        for rows in (a, b):
+            js = inputs.transpositions[rows] % k
+            tmp = particles.perm[rows, js].copy()
+            particles.perm[rows, js] = particles.perm[rows, 0]
+            particles.perm[rows, 0] = tmp
+    if ledger is not None:
+        ctx.__exit__(None, None, None)
+    return int(m)

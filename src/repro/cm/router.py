@@ -1,0 +1,133 @@
+"""General communication: the CM-2 router.
+
+The router delivers messages between arbitrary virtual processors over
+the chip hypercube.  For the emulation, two operations cover everything
+the simulation needs:
+
+* :func:`permute` -- scatter values to destination VPs (a permutation
+  send: every VP sends exactly one message to a distinct destination);
+* :func:`gather` -- fetch values from source VPs (`get`, which the real
+  machine implements as a round trip and which costs accordingly).
+
+Both measure the *actual* on-chip/off-chip split of the pattern against
+the VP geometry and charge the attached cost model, which is how the
+emulation reproduces the communication behaviour behind Figure 7
+instead of assuming it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cm.field import Field
+from repro.cm.machine import VPGeometry
+from repro.cm.timing import CostModel
+from repro.errors import MachineError
+
+ArrayOrField = Union[np.ndarray, Field]
+
+
+def _unwrap(x: ArrayOrField) -> np.ndarray:
+    return x.data if isinstance(x, Field) else np.asarray(x)
+
+
+def _check_permutation(dst: np.ndarray, n: int) -> None:
+    if dst.shape != (n,):
+        raise MachineError("destination array must have one entry per VP")
+    if n and (dst.min() < 0 or dst.max() >= n):
+        raise MachineError(f"destination VP out of range [0, {n})")
+    # A permutation send must not have collisions; the hardware would
+    # serialize them, the emulation forbids them for determinism.
+    counts = np.bincount(dst, minlength=n)
+    if np.any(counts > 1):
+        raise MachineError("router send has colliding destinations")
+
+
+def permute(
+    values: ArrayOrField,
+    dst_vp: np.ndarray,
+    geometry: Optional[VPGeometry] = None,
+    cost: Optional[CostModel] = None,
+    payload_bits: int = 32,
+) -> np.ndarray:
+    """Send ``values[i]`` to VP ``dst_vp[i]`` (collision-free scatter).
+
+    Returns the received array (``out[dst_vp[i]] = values[i]``).  When a
+    cost model is attached, the measured off-chip fraction of the
+    pattern is charged.
+    """
+    v = _unwrap(values)
+    if isinstance(values, Field):
+        geometry = geometry or values.geometry
+        cost = cost or values.cost
+    dst = np.asarray(dst_vp)
+    n = v.shape[0]
+    _check_permutation(dst, n)
+    if cost is not None:
+        cost.route(np.arange(n), dst, payload_bits=payload_bits)
+    out = np.empty_like(v)
+    out[dst] = v
+    return out
+
+
+def permute_many(
+    columns: Sequence[np.ndarray],
+    dst_vp: np.ndarray,
+    geometry: VPGeometry,
+    cost: Optional[CostModel] = None,
+    bits_per_column: int = 32,
+) -> list:
+    """Permute several same-length columns in one (wider) send.
+
+    The CM implementation moves the whole computational state of a
+    particle in one message; modelling it as a single send with a wide
+    payload matters for the cost accounting (per-message router
+    overhead is paid once, not per column).
+    """
+    if not columns:
+        return []
+    dst = np.asarray(dst_vp)
+    n = columns[0].shape[0]
+    for c in columns:
+        if c.shape[0] != n:
+            raise MachineError("all columns must have equal length")
+    _check_permutation(dst, n)
+    if cost is not None:
+        cost.route(
+            np.arange(n), dst, payload_bits=bits_per_column * len(columns)
+        )
+    out = []
+    for c in columns:
+        o = np.empty_like(c)
+        o[dst] = c
+        out.append(o)
+    return out
+
+
+def gather(
+    values: ArrayOrField,
+    src_vp: np.ndarray,
+    geometry: Optional[VPGeometry] = None,
+    cost: Optional[CostModel] = None,
+    payload_bits: int = 32,
+) -> np.ndarray:
+    """Fetch ``values[src_vp[i]]`` into VP ``i`` (a `get`).
+
+    Unlike :func:`permute`, multiple VPs may read the same source.  The
+    real machine implements `get` as request + reply, so the charge is
+    doubled relative to a one-way send.
+    """
+    v = _unwrap(values)
+    if isinstance(values, Field):
+        geometry = geometry or values.geometry
+        cost = cost or values.cost
+    src = np.asarray(src_vp)
+    n = src.shape[0]
+    if v.shape[0] and (src.min() < 0 or src.max() >= v.shape[0]):
+        raise MachineError("source VP out of range")
+    if cost is not None:
+        # request (address) out + payload back
+        cost.route(np.arange(n), src, payload_bits=payload_bits * 2)
+    return v[src]

@@ -1,0 +1,335 @@
+"""Scan (parallel prefix) primitives, plain and segmented.
+
+Scans are the workhorse collective of the Connection Machine (Hillis &
+Steele, "Data Parallel Algorithms", CACM 1986); the paper uses them to
+obtain per-cell populations for the collision selection rule ("This
+requires specific knowledge of the cell density which can be best
+obtained on the Connection Machine by making use of the scan
+functions").
+
+All functions operate on 1-D NumPy arrays and are implemented with
+vectorized accumulation (``cumsum`` / ``maximum.accumulate``) -- the
+emulation computes the same *result* as the log-depth hardware scan and
+charges the hardware's cost through an optional
+:class:`~repro.cm.timing.CostModel`.
+
+Segmented scans restart at every index where ``segment_heads`` is true.
+In the simulation a segment is one grid cell's run of (sorted)
+particles, so e.g. a segmented plus-scan of ones yields each particle's
+intra-cell rank and a segmented copy-scan broadcasts per-cell values to
+all particles of the cell.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.cm.field import Field
+from repro.cm.timing import CostModel
+from repro.errors import MachineError
+
+ArrayOrField = Union[np.ndarray, Field]
+
+
+def _unwrap(x: ArrayOrField) -> np.ndarray:
+    return x.data if isinstance(x, Field) else np.asarray(x)
+
+
+def _charge(cost: Optional[CostModel], bits: int, nscans: float = 1.0) -> None:
+    if cost is not None:
+        cost.scan(bits=bits, nscans=nscans)
+
+
+def _validate_heads(values: np.ndarray, heads: np.ndarray) -> np.ndarray:
+    heads = np.asarray(heads, dtype=bool)
+    if heads.shape != values.shape:
+        raise MachineError("segment_heads must match values in shape")
+    if heads.size and not heads[0]:
+        raise MachineError("segment_heads[0] must be True (first segment)")
+    return heads
+
+
+# ---------------------------------------------------------------------------
+# Unsegmented scans
+# ---------------------------------------------------------------------------
+
+def plus_scan(
+    values: ArrayOrField,
+    inclusive: bool = True,
+    cost: Optional[CostModel] = None,
+    bits: int = 32,
+) -> np.ndarray:
+    """Prefix sum.  Exclusive variant shifts in a leading zero."""
+    v = _unwrap(values)
+    _charge(cost, bits)
+    acc = np.cumsum(v, dtype=np.int64 if v.dtype.kind in "iu" else None)
+    if inclusive:
+        return acc.astype(v.dtype, copy=False)
+    out = np.empty_like(acc)
+    out[0] = 0
+    out[1:] = acc[:-1]
+    return out.astype(v.dtype, copy=False)
+
+
+def max_scan(
+    values: ArrayOrField,
+    cost: Optional[CostModel] = None,
+    bits: int = 32,
+) -> np.ndarray:
+    """Inclusive running maximum."""
+    v = _unwrap(values)
+    _charge(cost, bits)
+    return np.maximum.accumulate(v)
+
+
+def min_scan(
+    values: ArrayOrField,
+    cost: Optional[CostModel] = None,
+    bits: int = 32,
+) -> np.ndarray:
+    """Inclusive running minimum."""
+    v = _unwrap(values)
+    _charge(cost, bits)
+    return np.minimum.accumulate(v)
+
+
+def copy_scan(
+    values: ArrayOrField,
+    cost: Optional[CostModel] = None,
+    bits: int = 32,
+) -> np.ndarray:
+    """Broadcast the first element to every position."""
+    v = _unwrap(values)
+    _charge(cost, bits)
+    if v.size == 0:
+        return v.copy()
+    return np.full_like(v, v[0])
+
+
+# ---------------------------------------------------------------------------
+# Segmented scans
+# ---------------------------------------------------------------------------
+
+def segmented_plus_scan(
+    values: ArrayOrField,
+    segment_heads: np.ndarray,
+    inclusive: bool = True,
+    cost: Optional[CostModel] = None,
+    bits: int = 32,
+) -> np.ndarray:
+    """Prefix sum restarting at every segment head.
+
+    Implemented as a global cumsum minus the cumsum value carried in at
+    each segment's head -- the standard O(1)-pass vectorized equivalent
+    of the hardware segmented scan.
+    """
+    v = _unwrap(values)
+    if v.size == 0:
+        _charge(cost, bits)
+        return v.copy()
+    heads = _validate_heads(v, segment_heads)
+    _charge(cost, bits)
+    wide = np.cumsum(v, dtype=np.int64 if v.dtype.kind in "iu" else None)
+    # Value of the global cumsum just *before* each segment start,
+    # broadcast over the segment and subtracted out.
+    seg_id = np.cumsum(heads) - 1
+    head_idx = np.flatnonzero(heads)
+    carried = np.zeros(head_idx.size, dtype=wide.dtype)
+    carried[1:] = wide[head_idx[1:] - 1]
+    acc = wide - carried[seg_id]
+    if inclusive:
+        return acc.astype(v.dtype, copy=False)
+    out = np.empty_like(acc)
+    out[0] = 0
+    out[1:] = acc[:-1]
+    out[heads] = 0
+    return out.astype(v.dtype, copy=False)
+
+
+def segmented_copy_scan(
+    values: ArrayOrField,
+    segment_heads: np.ndarray,
+    cost: Optional[CostModel] = None,
+    bits: int = 32,
+) -> np.ndarray:
+    """Broadcast each segment head's value across its segment."""
+    v = _unwrap(values)
+    if v.size == 0:
+        _charge(cost, bits)
+        return v.copy()
+    heads = _validate_heads(v, segment_heads)
+    _charge(cost, bits)
+    head_idx = np.flatnonzero(heads)
+    seg_id = np.cumsum(heads) - 1
+    return v[head_idx[seg_id]]
+
+
+def segmented_max_scan(
+    values: ArrayOrField,
+    segment_heads: np.ndarray,
+    cost: Optional[CostModel] = None,
+    bits: int = 32,
+) -> np.ndarray:
+    """Running maximum restarting at every segment head.
+
+    Vectorized via an offset trick: add a per-segment offset large
+    enough to dominate, take the global running max, subtract.
+    Falls back to an exact two-pass formulation for float inputs.
+    """
+    v = _unwrap(values)
+    if v.size == 0:
+        _charge(cost, bits)
+        return v.copy()
+    heads = _validate_heads(v, segment_heads)
+    _charge(cost, bits)
+    seg_id = np.cumsum(heads) - 1
+    if v.dtype.kind in "iu":
+        v64 = v.astype(np.int64)
+        span = int(v64.max() - v64.min()) + 1
+        shifted = v64 + seg_id.astype(np.int64) * span
+        return (np.maximum.accumulate(shifted) - seg_id * span).astype(
+            v.dtype, copy=False
+        )
+    span = float(np.max(v) - np.min(v)) + 1.0
+    shifted = v.astype(np.float64) + seg_id * span
+    return np.maximum.accumulate(shifted) - seg_id * span
+
+
+def segmented_min_scan(
+    values: ArrayOrField,
+    segment_heads: np.ndarray,
+    cost: Optional[CostModel] = None,
+    bits: int = 32,
+) -> np.ndarray:
+    """Running minimum restarting at every segment head.
+
+    Part of the "richer set of scan functions in the Version 5.0
+    software" the paper's Future Work wants for faster candidate
+    identification.
+    """
+    v = _unwrap(values)
+    if v.size == 0:
+        _charge(cost, bits)
+        return v.copy()
+    _validate_heads(v, segment_heads)
+    return -segmented_max_scan(-v, segment_heads, cost=cost, bits=bits)
+
+
+def segmented_or_scan(
+    flags: ArrayOrField,
+    segment_heads: np.ndarray,
+    cost: Optional[CostModel] = None,
+) -> np.ndarray:
+    """Running logical OR within segments (1-bit scan)."""
+    v = _unwrap(flags).astype(np.int64)
+    if v.size == 0:
+        _charge(cost, 1)
+        return v.astype(bool)
+    _validate_heads(v, segment_heads)
+    return segmented_max_scan(v, segment_heads, cost=cost, bits=1).astype(bool)
+
+
+def segmented_and_scan(
+    flags: ArrayOrField,
+    segment_heads: np.ndarray,
+    cost: Optional[CostModel] = None,
+) -> np.ndarray:
+    """Running logical AND within segments (1-bit scan)."""
+    v = _unwrap(flags).astype(np.int64)
+    if v.size == 0:
+        _charge(cost, 1)
+        return v.astype(bool)
+    _validate_heads(v, segment_heads)
+    return segmented_min_scan(v, segment_heads, cost=cost, bits=1).astype(bool)
+
+
+def enumerate_active(
+    active: np.ndarray,
+    cost: Optional[CostModel] = None,
+) -> np.ndarray:
+    """Rank of each active VP among the active set (-1 for inactive).
+
+    The `enumerate` collective: an exclusive plus-scan of the context
+    flags.  The building block of :func:`pack`.
+    """
+    a = np.asarray(active, dtype=bool)
+    _charge(cost, 32)
+    ranks = np.cumsum(a) - 1
+    return np.where(a, ranks, -1)
+
+
+def pack(
+    values: ArrayOrField,
+    active: np.ndarray,
+    cost: Optional[CostModel] = None,
+    bits: int = 32,
+) -> np.ndarray:
+    """Compress the active VPs' values to the front (the `pack` op).
+
+    On the CM this is enumerate + router send; the paper expects the
+    richer 5.0 scans to "decrease the time spent in identifying
+    collision candidates" via exactly this compression (sending only
+    occupied-pair slots to the collision routine).
+    """
+    v = _unwrap(values)
+    a = np.asarray(active, dtype=bool)
+    if v.shape[0] != a.shape[0]:
+        raise MachineError("values and active mask must align")
+    if cost is not None:
+        cost.scan(bits=32, nscans=1)
+        n_active = int(a.sum())
+        if n_active:
+            src = np.flatnonzero(a)
+            cost.route(src, np.arange(n_active), payload_bits=bits)
+    return v[a]
+
+
+def unpack(
+    packed: np.ndarray,
+    active: np.ndarray,
+    fill,
+    cost: Optional[CostModel] = None,
+    bits: int = 32,
+) -> np.ndarray:
+    """Scatter packed values back to their active VP slots."""
+    a = np.asarray(active, dtype=bool)
+    packed = np.asarray(packed)
+    n_active = int(a.sum())
+    if packed.shape[0] != n_active:
+        raise MachineError(
+            f"packed length {packed.shape[0]} != active count {n_active}"
+        )
+    if cost is not None:
+        cost.scan(bits=32, nscans=1)
+        if n_active:
+            cost.route(
+                np.arange(n_active), np.flatnonzero(a), payload_bits=bits
+            )
+    out = np.full(a.shape[0], fill, dtype=packed.dtype)
+    out[a] = packed
+    return out
+
+
+def segment_counts(
+    segment_heads: np.ndarray,
+    cost: Optional[CostModel] = None,
+) -> np.ndarray:
+    """Per-element count of its segment's total population.
+
+    The paper's cell-density computation: a segmented plus-scan of ones
+    (backwards + forwards in hardware; one pass here) broadcast to all
+    members.  Returns, for each element, the size of its segment.
+    """
+    heads = np.asarray(segment_heads, dtype=bool)
+    if heads.size == 0:
+        _charge(cost, 32)
+        return np.zeros(0, dtype=np.int64)
+    if not heads[0]:
+        raise MachineError("segment_heads[0] must be True")
+    _charge(cost, 32, nscans=2.0)
+    head_idx = np.flatnonzero(heads)
+    sizes = np.diff(np.concatenate((head_idx, [heads.size])))
+    seg_id = np.cumsum(heads) - 1
+    return sizes[seg_id]

@@ -1,0 +1,443 @@
+"""Cost ledger and calibrated timing model for the CM-2 emulation.
+
+The paper reports three performance artifacts:
+
+* **7.2 microseconds / particle / time step** on 32k processors at 512k
+  particles (excluding reservoir particles);
+* a phase breakdown: motion+boundaries 14%, sort 27%, selection 20%,
+  collision 39%;
+* **Figure 7**: per-particle time *decreases* with problem size at fixed
+  machine size, with the largest drop from VP ratio 1 to 2 (collision
+  pair traffic moves on-chip) and further gains from more efficient
+  sort communication at higher ratios.
+
+The emulation cannot (and should not) cycle-time a 1989 machine, so it
+reproduces the *structure* of the cost and calibrates the absolute
+scale:
+
+1. Every primitive executed by the CM engine charges *raw bit-cycle
+   costs* to a :class:`CostLedger`, split by phase and by category
+   (ALU, scan tree, on-chip routing, off-chip routing).  Communication
+   volumes are **measured from the actual send patterns** of the run,
+   not assumed.
+2. :class:`CM2TimingModel` converts raw costs to microseconds with one
+   scale factor per phase, chosen so that the paper's anchor
+   configuration (512k particles on 32k processors) reproduces exactly
+   7.2 us/particle/step split 14/27/20/39.  Away from the anchor the
+   vpr-dependence comes entirely from the structural model, which is
+   what Figure 7 tests.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.constants import (
+    PAPER_CM2_PROCESSORS,
+    PAPER_CM2_US_PER_PARTICLE,
+    PAPER_PHASE_FRACTIONS,
+)
+from repro.cm.machine import CM2, VPGeometry
+from repro.errors import MachineError
+
+#: The four algorithm phases the paper times.
+PHASES = ("motion", "sort", "selection", "collision")
+
+#: Cost categories tracked inside each phase.
+CATEGORIES = ("alu", "scan", "route_on", "route_off")
+
+# Structural weights (raw bit-cycles).  Only their *ratios* shape the
+# curve; absolute scale is calibrated away at the anchor point.
+W_ALU = 1.0          # one bit-serial ALU bit-op
+W_SCAN_LOCAL = 2.0   # per-bit local work of a scan (up + down sweep)
+W_SCAN_TREE = 0.25   # per-bit per-hypercube-dimension tree traffic
+W_ROUTE_ON = 1.0     # per-bit move within a physical processor (memory)
+W_ROUTE_OFF = 4.0    # per-bit router hop off-chip (wire + congestion)
+#: Fixed router-operation overhead per hypercube dimension, paid once
+#: per send *operation* per physical processor (petit-cycle setup,
+#: address decode, wire turnaround).  Tree and setup terms are paid per
+#: *operation*, not per particle, so they amortize over the VP ratio --
+#: the mechanism behind Figure 7's falling per-particle cost; the
+#: even/odd pair exchange jumping off-chip at VPR 1 supplies the
+#: pronounced 1 -> 2 step the paper attributes to the collision routine.
+W_ROUTE_SETUP = 24.0
+
+
+class CostLedger:
+    """Accumulates raw bit-cycle costs by phase and category.
+
+    The ledger is charged by the cost-model helpers below while the CM
+    engine runs; :class:`CM2TimingModel` converts the totals into
+    microseconds.  Costs are *per physical processor* (SIMD lockstep:
+    everything is already divided by the processor count through the
+    VP ratio).
+    """
+
+    def __init__(self) -> None:
+        self._costs: Dict[str, Dict[str, float]] = {
+            p: {c: 0.0 for c in CATEGORIES} for p in PHASES
+        }
+        self._steps: int = 0
+        self._current_phase: Optional[str] = None
+
+    # -- charging -------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager scoping subsequent charges to one phase."""
+        if name not in PHASES:
+            raise MachineError(f"unknown phase {name!r}; expected {PHASES}")
+        prev = self._current_phase
+        self._current_phase = name
+        try:
+            yield
+        finally:
+            self._current_phase = prev
+
+    def charge(self, category: str, cost: float, phase: Optional[str] = None) -> None:
+        """Add ``cost`` raw bit-cycles to ``phase``/``category``."""
+        phase = phase or self._current_phase
+        if phase is None:
+            raise MachineError("no phase active and none given")
+        if phase not in PHASES:
+            raise MachineError(f"unknown phase {phase!r}")
+        if category not in CATEGORIES:
+            raise MachineError(f"unknown category {category!r}")
+        if cost < 0:
+            raise MachineError("cost must be non-negative")
+        self._costs[phase][category] += float(cost)
+
+    def end_step(self) -> None:
+        """Mark the completion of one simulation time step."""
+        self._steps += 1
+
+    # -- reading ----------------------------------------------------------
+
+    @property
+    def steps(self) -> int:
+        return self._steps
+
+    def phase_total(self, phase: str) -> float:
+        """Raw cost accumulated in one phase."""
+        return sum(self._costs[phase].values())
+
+    def category_total(self, category: str) -> float:
+        """Raw cost of one category across all phases."""
+        return sum(self._costs[p][category] for p in PHASES)
+
+    def total(self) -> float:
+        """Raw cost over all phases and categories."""
+        return sum(self.phase_total(p) for p in PHASES)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Deep copy of the raw cost table."""
+        return {p: dict(cs) for p, cs in self._costs.items()}
+
+    def merged_with(self, other: "CostLedger") -> "CostLedger":
+        """Return a new ledger with both ledgers' costs and steps."""
+        out = CostLedger()
+        for p in PHASES:
+            for c in CATEGORIES:
+                out._costs[p][c] = self._costs[p][c] + other._costs[p][c]
+        out._steps = self._steps + other._steps
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Cost-model helpers: translate primitive executions into raw charges
+# ---------------------------------------------------------------------------
+
+class CostModel:
+    """Charges primitive costs against a ledger for a VP geometry.
+
+    All helpers cost *per physical processor time slice*: an elementwise
+    op over ``n_active`` VPs with ``bits``-bit operands on a machine
+    with ``P`` processors costs ``bits * ceil(n_active / P)`` because
+    the SIMD machine serializes over the VP ratio and over bits.
+    """
+
+    def __init__(self, geometry: VPGeometry, ledger: CostLedger) -> None:
+        self.geometry = geometry
+        self.ledger = ledger
+
+    # Convenience
+    @property
+    def _P(self) -> int:
+        return self.geometry.machine.n_processors
+
+    def _slices(self, n_active: int) -> float:
+        """VP time slices consumed: ceil(active VPs per processor).
+
+        The CM always cycles through the whole VP set (context flags
+        mask inactive VPs but their slice is still spent), so the cost
+        uses the full VP ratio; ``n_active`` only matters for
+        communication volume.
+        """
+        return float(self.geometry.vpr)
+
+    def elementwise(self, bits: int, nops: float = 1.0) -> None:
+        """``nops`` bit-serial ALU operations on ``bits``-bit fields."""
+        self.ledger.charge("alu", W_ALU * bits * nops * self._slices(0))
+
+    def scan(self, bits: int, nscans: float = 1.0) -> None:
+        """A (possibly segmented) scan over the full VP set.
+
+        Cost: local up/down sweeps over the VP ratio plus the hypercube
+        tree combine across physical processors, amortized over the VP
+        ratio (one tree per scan regardless of VPR, so per-particle scan
+        cost *falls* as the ratio rises -- one of the Figure 7 effects).
+        """
+        d = self.geometry.machine.hypercube_dimension
+        local = W_SCAN_LOCAL * bits * self.geometry.vpr
+        tree = W_SCAN_TREE * bits * d
+        self.ledger.charge("scan", (local + tree) * nscans)
+
+    def route(
+        self,
+        src_vp: np.ndarray,
+        dst_vp: np.ndarray,
+        payload_bits: int,
+    ) -> float:
+        """A general router send of ``payload_bits`` per message.
+
+        The off-chip fraction is *measured* from the actual (src, dst)
+        pattern.  Returns that fraction (useful for diagnostics).  Cost
+        is charged per physical processor: total traffic divided by the
+        processor count.
+        """
+        src_vp = np.asarray(src_vp)
+        n = src_vp.size
+        if n == 0:
+            return 0.0
+        f_off = self.geometry.offchip_fraction(src_vp, dst_vp)
+        per_proc = n / self._P
+        d = self.geometry.machine.hypercube_dimension
+        self.ledger.charge(
+            "route_off",
+            W_ROUTE_OFF * payload_bits * f_off * per_proc
+            + W_ROUTE_SETUP * d * min(1.0, f_off * n / self._P),
+        )
+        self.ledger.charge(
+            "route_on", W_ROUTE_ON * payload_bits * (1.0 - f_off) * per_proc
+        )
+        return f_off
+
+    def pair_exchange(self, payload_bits: int) -> float:
+        """Even/odd neighbour exchange (VP 2i <-> 2i+1) of a payload.
+
+        Uses the geometry's structural pair off-chip fraction: 100%
+        off-chip at VPR 1, ~0% for even VPR >= 2.  Returns the fraction.
+        """
+        f_off = self.geometry.pair_offchip_fraction()
+        per_proc = self.geometry.n_virtual / self._P
+        # A neighbour exchange needs no router setup: at VPR >= 2 it is
+        # pure local memory traffic; at VPR 1 it is a fixed-pattern
+        # one-hop wire exchange.
+        self.ledger.charge(
+            "route_off", W_ROUTE_OFF * payload_bits * f_off * per_proc
+        )
+        self.ledger.charge(
+            "route_on", W_ROUTE_ON * payload_bits * (1.0 - f_off) * per_proc
+        )
+        return f_off
+
+    def sort_rank(self, key_bits: int) -> None:
+        """Ranking cost of a radix sort over ``key_bits``-bit keys.
+
+        Modelled as one split (two scans plus elementwise shuffling
+        bookkeeping) per key bit, the standard CM radix-sort recipe of
+        Hillis & Steele.
+        """
+        self.scan(bits=32, nscans=2 * key_bits)
+        self.elementwise(bits=32, nops=2 * key_bits)
+
+
+# ---------------------------------------------------------------------------
+# Calibrated conversion to microseconds
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Per-phase timing results in microseconds per particle per step."""
+
+    us_per_particle: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.us_per_particle.values())
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-phase share of the total time (the paper's table)."""
+        t = self.total
+        if t == 0:
+            return {p: 0.0 for p in PHASES}
+        return {p: v / t for p, v in self.us_per_particle.items()}
+
+
+class CM2TimingModel:
+    """Converts raw ledger costs into paper-comparable microseconds.
+
+    Calibration: run the structural cost model once for the paper's
+    anchor configuration (512k particles, 32k processors, VPR 16) with
+    the anchor's representative communication fractions, and choose one
+    scale per phase so the anchor evaluates to exactly
+    ``7.2 us/particle/step`` split ``14/27/20/39``.  All other
+    configurations then follow from structure alone.
+
+    ``flow_fraction`` mirrors the paper's accounting: reported
+    per-particle times divide by the particles *in the flow*, which is
+    ~10% less than the total (the rest sit in the reservoir).
+    """
+
+    def __init__(
+        self,
+        machine: Optional[CM2] = None,
+        anchor_particles: Optional[int] = None,
+        flow_fraction: float = 0.9,
+    ) -> None:
+        self.machine = machine or CM2(n_processors=PAPER_CM2_PROCESSORS)
+        if anchor_particles is None:
+            # Anchor at the paper's VP ratio (512k / 32k = 16) scaled to
+            # this machine, so scaled studies calibrate consistently.
+            anchor_particles = 16 * self.machine.n_processors
+        self.anchor_particles = anchor_particles
+        self.flow_fraction = flow_fraction
+        anchor_raw = _structural_step_costs(
+            self.machine, anchor_particles
+        )
+        # us per raw-cost-unit, per phase, such that the anchor's phase
+        # time equals fraction * 7.2us * n_flow.
+        n_flow = anchor_particles * flow_fraction
+        self._scale_us: Dict[str, float] = {}
+        for p in PHASES:
+            target_us = PAPER_PHASE_FRACTIONS[p] * PAPER_CM2_US_PER_PARTICLE * n_flow
+            self._scale_us[p] = target_us / anchor_raw[p]
+
+    def per_particle_us(
+        self, ledger: CostLedger, n_flow_particles: int
+    ) -> PhaseBreakdown:
+        """Convert a ledger into us/particle/step for a run.
+
+        ``n_flow_particles`` is the number of particles "actually in the
+        flow" (the paper's denominator).
+        """
+        if ledger.steps == 0:
+            raise MachineError("ledger has recorded no completed steps")
+        if n_flow_particles <= 0:
+            raise MachineError("n_flow_particles must be positive")
+        out = {}
+        for p in PHASES:
+            raw_per_step = ledger.phase_total(p) / ledger.steps
+            out[p] = self._scale_us[p] * raw_per_step / n_flow_particles
+        return PhaseBreakdown(us_per_particle=out)
+
+    def predict_for_machine(
+        self, machine: CM2, n_particles: int
+    ) -> PhaseBreakdown:
+        """Predict another machine's time under THIS model's calibration.
+
+        :meth:`predict_curve` re-uses this model's machine; cross-machine
+        studies (weak scaling) must instead hold the calibration fixed
+        and swap the structural machine, or the per-machine anchoring
+        silently normalizes away exactly the effect under study.
+        """
+        raw = _structural_step_costs(machine, int(n_particles))
+        n_flow = int(n_particles) * self.flow_fraction
+        us = {p: self._scale_us[p] * raw[p] / n_flow for p in PHASES}
+        return PhaseBreakdown(us_per_particle=us)
+
+    def predict_curve(self, particle_counts) -> Dict[int, PhaseBreakdown]:
+        """Predict Figure 7 purely from the structural model.
+
+        For each particle count (machine size fixed), evaluate the
+        structural per-step costs with representative communication
+        fractions and convert with the calibrated scales.  This is the
+        *model* curve; the CM engine produces the *measured* curve from
+        actual runs.  The bench compares both to the paper.
+        """
+        results: Dict[int, PhaseBreakdown] = {}
+        for n in particle_counts:
+            raw = _structural_step_costs(self.machine, int(n))
+            n_flow = int(n) * self.flow_fraction
+            us = {
+                p: self._scale_us[p] * raw[p] / n_flow for p in PHASES
+            }
+            results[int(n)] = PhaseBreakdown(us_per_particle=us)
+        return results
+
+
+def sort_displacement_offchip_fraction(vpr: int) -> float:
+    """Representative off-chip fraction of the sort's data permutation.
+
+    Measured runs show the randomized intra-cell reshuffle moves nearly
+    every particle across a VP block boundary regardless of the ratio
+    (cells hold more particles than a block holds VPs), so the volume
+    fraction is ~1.  The *per-particle* sort communication still falls
+    with the ratio because the fixed router-operation overhead
+    (:data:`W_ROUTE_SETUP`, petit-cycle setup paid once per send
+    operation) amortizes over more particles per processor -- the
+    mechanism behind the paper's "communications in the sorting routine
+    become more efficient" at larger ratios.  Kept as a function so
+    sensitivity studies can override it.
+    """
+    if vpr <= 0:
+        raise MachineError("vpr must be positive")
+    return 1.0
+
+
+def _structural_step_costs(machine: CM2, n_particles: int) -> Dict[str, float]:
+    """Raw per-step phase costs of the algorithm's structural model.
+
+    Mirrors exactly the charges the CM engine makes per time step (same
+    helpers, same operation counts -- see ``core/engine_cm.py``), with
+    representative communication fractions standing in for measured
+    ones.  Operation counts (`nops`) are the engine's advertised
+    per-phase ALU workloads.
+    """
+    geom = machine.geometry(n_particles)
+    ledger = CostLedger()
+    cost = CostModel(geom, ledger)
+    b = 32
+
+    with ledger.phase("motion"):
+        # position update (2 adds), boundary predicate evaluation and
+        # reflections (~10 ops), plunger/reservoir bookkeeping (~4 ops).
+        cost.elementwise(bits=b, nops=16)
+
+    with ledger.phase("sort"):
+        # cell index (4 ops) + key scaling/mixing (3 ops)
+        cost.elementwise(bits=b, nops=7)
+        cost.sort_rank(key_bits=16)
+        # data permutation of the full computational state
+        f_off = sort_displacement_offchip_fraction(geom.vpr)
+        payload = 9 * b  # 7 state words + cell index + packed permutation
+        per_proc = n_particles / machine.n_processors
+        d = machine.hypercube_dimension
+        ledger.charge(
+            "route_off",
+            W_ROUTE_OFF * payload * f_off * per_proc
+            + W_ROUTE_SETUP * d * min(1.0, f_off * per_proc),
+        )
+        ledger.charge("route_on", W_ROUTE_ON * payload * (1 - f_off) * per_proc)
+
+    with ledger.phase("selection"):
+        # segmented scans for cell population (2 scans) + density and
+        # probability evaluation (~12 ops) + acceptance draw (2 ops)
+        cost.scan(bits=b, nscans=2)
+        cost.elementwise(bits=b, nops=14)
+        # partner cell-index comparison exchange (1 word)
+        cost.pair_exchange(payload_bits=b)
+
+    with ledger.phase("collision"):
+        # exchange of partner velocities (5 words) and the permutation
+        # machinery + post-collision reconstruction (~40 ops: means,
+        # relatives, permute, signs, stochastic rounding)
+        cost.pair_exchange(payload_bits=5 * b)
+        cost.elementwise(bits=b, nops=40)
+
+    ledger.end_step()
+    return {p: ledger.phase_total(p) for p in PHASES}

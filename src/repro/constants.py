@@ -1,0 +1,136 @@
+"""Physical and numerical constants used throughout the reproduction.
+
+The simulation works in the normalized units of the Baganoff scheme
+(see DESIGN.md section 4):
+
+* lengths are measured in **cell widths** (the grid cell is the unit of
+  length),
+* the time step is the unit of time (``DT = 1``),
+* velocities are therefore measured in cell widths per time step.
+
+The gas is an ideal diatomic gas (3 translational + 2 rotational degrees
+of freedom), giving the ratio of specific heats ``GAMMA = 7/5`` used by
+all the theoretical comparisons (oblique shock, Rankine-Hugoniot,
+Prandtl-Meyer).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Time step in normalized units.  The Baganoff normalization absorbs the
+#: time step into the velocity scale, so positions update as ``x += u``.
+DT: float = 1.0
+
+#: Translational degrees of freedom of the model molecule.
+TRANSLATIONAL_DOF: int = 3
+
+#: Rotational degrees of freedom of the (diatomic) model molecule.
+ROTATIONAL_DOF: int = 2
+
+#: Total internal + translational degrees of freedom.
+TOTAL_DOF: int = TRANSLATIONAL_DOF + ROTATIONAL_DOF
+
+#: Ratio of specific heats for a diatomic ideal gas,
+#: ``gamma = (dof + 2) / dof`` with ``dof = 5``.
+GAMMA: float = (TOTAL_DOF + 2) / TOTAL_DOF
+
+#: Number of components in the collision algorithm's relative-velocity
+#: vector: three translational relative components plus two rotational
+#: components (eq. (18) of the paper).
+RELATIVE_COMPONENTS: int = 5
+
+#: Inverse-power-law exponent of a Maxwell molecule.  For Maxwell
+#: molecules the collision probability is independent of the relative
+#: speed (eq. (8) of the paper).
+MAXWELL_ALPHA: float = 4.0
+
+#: Ratio of the mean molecular speed to the most probable speed for a
+#: Maxwellian distribution: ``c_bar / c_mp = 2 / sqrt(pi)``.
+MEAN_TO_MOST_PROBABLE: float = 2.0 / math.sqrt(math.pi)
+
+#: Upper bound on the per-pair collision probability below which the
+#: "at most one collision per time step" assumption of eq. (4) holds.
+#: The paper requires the time step to be 3--4x smaller than the mean
+#: collision time.
+MAX_COLLISION_PROBABILITY: float = 1.0 / 3.0
+
+#: Default scale factor used to randomize the sort keys (see
+#: "Selection of Collision Partners" in the paper): the cell index is
+#: multiplied by this factor and a random value below it is added, so the
+#: sort no longer preserves intra-cell ordering.
+DEFAULT_SORT_SCALE: int = 8
+
+#: Number of random transpositions needed to fully refresh a 5-element
+#: permutation per Aldous & Diaconis (n log n with n = 5).  The paper
+#: performs one transposition per collision and notes ~10 collisions
+#: fully decorrelate the permutation.
+PERMUTATION_REFRESH_TRANSPOSITIONS: int = 10
+
+#: Paper-reported per-particle time on the 32k-processor CM-2 at 512k
+#: particles (microseconds per particle per time step).
+PAPER_CM2_US_PER_PARTICLE: float = 7.2
+
+#: Paper-reported per-particle time of the hand-vectorized Cray-2
+#: implementation (microseconds per particle per time step).
+PAPER_CRAY2_US_PER_PARTICLE: float = 0.8
+
+#: Paper-reported distribution of computational time across the four
+#: sub-steps of the algorithm (fractions of total time).
+PAPER_PHASE_FRACTIONS: dict = {
+    "motion": 0.14,      # collisionless motion including boundary conditions
+    "sort": 0.27,        # randomized sort by cell index
+    "selection": 0.20,   # selection of collision partners
+    "collision": 0.39,   # collision of selected partners
+}
+
+#: Grid dimensions of the paper's validation runs (98 cells streamwise by
+#: 64 cells transverse).
+PAPER_GRID_SHAPE: tuple = (98, 64)
+
+#: Wedge placement in the paper's runs: leading edge 20 cells from the
+#: upstream boundary, 25 cells wide at the base.
+PAPER_WEDGE_LEADING_EDGE: float = 20.0
+PAPER_WEDGE_BASE_CELLS: float = 25.0
+
+#: Wedge half-angle of the paper's validation runs, degrees.
+PAPER_WEDGE_ANGLE_DEG: float = 30.0
+
+#: Freestream Mach number of the paper's validation runs.
+PAPER_MACH: float = 4.0
+
+#: Theoretical oblique-shock angle for Mach 4 flow over a 30 degree wedge
+#: (the paper reads 45 degrees off figure 1).
+PAPER_SHOCK_ANGLE_DEG: float = 45.0
+
+#: Theoretical post-shock/freestream density ratio from the
+#: Rankine-Hugoniot relations for the same flow (paper quotes 3.7).
+PAPER_DENSITY_RATIO: float = 3.7
+
+#: Shock thickness read off figure 1 (near-continuum), in cell widths.
+PAPER_SHOCK_THICKNESS_CONTINUUM: float = 3.0
+
+#: Shock thickness read off figure 4 (rarefied, Kn = 0.02), cell widths.
+PAPER_SHOCK_THICKNESS_RAREFIED: float = 5.0
+
+#: Freestream mean free path of the rarefied run, in cell widths.
+PAPER_RAREFIED_MFP: float = 0.5
+
+#: Knudsen number of the rarefied run (mean free path / wedge length).
+PAPER_KNUDSEN: float = 0.02
+
+#: Reynolds number of the rarefied run.
+PAPER_REYNOLDS: float = 600.0
+
+#: Total particles in the paper's production runs.
+PAPER_TOTAL_PARTICLES: int = 512 * 1024
+
+#: Particles actually in the flow (the remainder sit in the reservoir).
+PAPER_FLOW_PARTICLES: int = 460_000
+
+#: Paper run schedule: steps to steady state, then averaging steps.
+PAPER_STEADY_STEPS: int = 1200
+PAPER_AVERAGE_STEPS: int = 2000
+
+#: CM-2 physical processors used for the paper's runs.
+PAPER_CM2_PROCESSORS: int = 32 * 1024

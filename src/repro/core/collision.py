@@ -1,0 +1,201 @@
+"""The collision algorithm (sub-step 4; eqs. (9)-(18) of the paper).
+
+The outcome of a collision of two perfect diatomic molecules is "for
+each particle, a new velocity and internal energy subject to the
+constraints of conservation of linear momentum and energy".  Rotational
+energy is carried by a rotational velocity vector r with
+``E_rot = 1/2 m r.r`` (eq. (9)); a diatomic r has two components.
+
+**The five values.**  "One begins by computing the relative and mean
+pre-collision velocity components for each collision partner"
+(eqs. (12)-(15)).  With m1 = m2 = m define, per component,
+
+    mean:           W  = (c1 + c2) / 2       (3 translational)
+                    S  = (r1 + r2) / 2       (2 rotational)
+    half-relative:  h  = (c1 - c2) / 2       (3 translational)
+                    hq = (r1 - r2) / 2       (2 rotational)
+
+Momentum conservation fixes W' = W (eq. (14)-(15)); the paper's
+assumption (eqs. (16)-(17)) additionally carries the rotational mean S
+through the collision unchanged.  Substituting into energy conservation
+(eqs. (10)-(11)) collapses both constraints into the single equation
+(18):
+
+    |h'|^2 + |hq'|^2 = |h|^2 + |hq|^2
+
+i.e. the *norm of the five-element half-relative vector is conserved*,
+and "any post-collision values that satisfy (18) are valid".  The
+implementation uses exactly the paper's choice: re-order the five
+pre-collision values by the particle's permutation vector and give every
+element a random, equally probable sign; then "for the first particle
+the new relative velocity is added to the mean velocity and for the
+second particle the relative velocity is subtracted from the mean
+velocity":
+
+    c1' = W + h'[0:3]    c2' = W - h'[0:3]
+    r1' = S + h'[3:5]    r2' = S - h'[3:5]
+
+Momentum and energy are conserved *exactly* (to rounding), and repeated
+collisions equidistribute energy over all five degrees of freedom --
+the stationary state satisfies classical equipartition (<c_x'^2> =
+<r_j^2>), which the property tests verify.
+
+This module is the float64 reference; the CM engine re-implements the
+same arithmetic in Q8.23 fixed point where the divisions by two above
+are exactly the truncation hazard the paper's stochastic rounding fixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.particles import ParticleArrays
+from repro.core.permutation import apply_permutation
+from repro.errors import ConfigurationError
+from repro.rng import random_signs
+
+
+@dataclass(frozen=True)
+class CollisionStats:
+    """Bookkeeping from one collision sub-step."""
+
+    n_collisions: int
+    energy_exchanged: float  # |translational energy change| summed over pairs
+
+
+def collide_pairs(
+    particles: ParticleArrays,
+    first: np.ndarray,
+    second: np.ndarray,
+    rng: Optional[np.random.Generator] = None,
+    signs: Optional[np.ndarray] = None,
+    transpositions: Optional[np.ndarray] = None,
+    internal_exchange_probability: float = 1.0,
+) -> CollisionStats:
+    """Collide the given (first[i], second[i]) pairs, in place.
+
+    Parameters
+    ----------
+    particles:
+        The population (velocities, rotational state and permutation
+        vectors are updated in place).
+    first, second:
+        Sorted addresses of the colliding pairs (the accepted candidate
+        pairs from the selection rule).
+    rng:
+        Source for the random signs and the permutation-refresh
+        transpositions when they are not supplied explicitly.
+    signs:
+        Optional ``(n_pairs, k)`` array of +-1 (the CM engine feeds
+        quick-and-dirty bits here).
+    transpositions:
+        Optional ``(2 * n_pairs,)`` swap indices for refreshing first
+        then second partners' permutation vectors.
+    internal_exchange_probability:
+        The Future-Work relaxation knob (see
+        :class:`repro.physics.molecules.MolecularModel`): with this
+        probability a pair's internal components join the five-element
+        shuffle; otherwise only the three translational half-relative
+        components are re-ordered among themselves (drawn from ``rng``;
+        energy and momentum are conserved either way).  1.0 (default)
+        is the paper's fully mixing model.
+
+    Returns per-step collision statistics.
+    """
+    a = np.asarray(first)
+    b = np.asarray(second)
+    if a.shape != b.shape:
+        raise ConfigurationError("first/second shapes differ")
+    n = a.shape[0]
+    k = 3 + particles.rotational_dof
+    if n == 0:
+        return CollisionStats(n_collisions=0, energy_exchanged=0.0)
+
+    # Means (conserved) and half-relatives (eqs. (12)-(15)).
+    wu = 0.5 * (particles.u[a] + particles.u[b])
+    wv = 0.5 * (particles.v[a] + particles.v[b])
+    ww = 0.5 * (particles.w[a] + particles.w[b])
+    smean = 0.5 * (particles.rot[a] + particles.rot[b])
+
+    h = np.empty((n, k))
+    h[:, 0] = 0.5 * (particles.u[a] - particles.u[b])
+    h[:, 1] = 0.5 * (particles.v[a] - particles.v[b])
+    h[:, 2] = 0.5 * (particles.w[a] - particles.w[b])
+    h[:, 3:] = 0.5 * (particles.rot[a] - particles.rot[b])
+
+    # Re-order by the first partner's permutation vector ("which one
+    # gets used is inconsequential") and apply random signs.
+    h_new = apply_permutation(h, particles.perm[a])
+    if signs is None:
+        if rng is None:
+            raise ConfigurationError("need rng or explicit signs")
+        signs = random_signs(rng, (n, k))
+    else:
+        signs = np.asarray(signs)
+        if signs.shape != (n, k):
+            raise ConfigurationError(f"signs must have shape {(n, k)}")
+    h_new = h_new * signs
+
+    if internal_exchange_probability < 1.0:
+        if rng is None:
+            raise ConfigurationError(
+                "internal_exchange_probability < 1 requires rng"
+            )
+        frozen = rng.random(n) >= internal_exchange_probability
+        if np.any(frozen):
+            nf = int(np.count_nonzero(frozen))
+            # Translational-only outcome: permute the 3 translational
+            # half-relatives among themselves (uniform 3-permutation),
+            # apply fresh signs, keep internal components untouched.
+            trans_perm = np.argsort(rng.random((nf, 3)), axis=1)
+            rows = np.arange(nf)[:, None]
+            h_trans = h[frozen][:, :3][rows, trans_perm]
+            h_trans *= random_signs(rng, (nf, 3))
+            h_new[frozen, :3] = h_trans
+            h_new[frozen, 3:] = h[frozen, 3:]
+
+    e_trans_before = h[:, 0] ** 2 + h[:, 1] ** 2 + h[:, 2] ** 2
+
+    # Reconstruct post-collision states (momentum: mean +- relative).
+    particles.u[a] = wu + h_new[:, 0]
+    particles.u[b] = wu - h_new[:, 0]
+    particles.v[a] = wv + h_new[:, 1]
+    particles.v[b] = wv - h_new[:, 1]
+    particles.w[a] = ww + h_new[:, 2]
+    particles.w[b] = ww - h_new[:, 2]
+    particles.rot[a] = smean + h_new[:, 3:]
+    particles.rot[b] = smean - h_new[:, 3:]
+
+    e_trans_after = h_new[:, 0] ** 2 + h_new[:, 1] ** 2 + h_new[:, 2] ** 2
+
+    # Refresh both partners' permutation vectors with one random
+    # transposition each (the Aldous-Diaconis shuffle step).
+    if transpositions is None:
+        if rng is None:
+            raise ConfigurationError("need rng or explicit transpositions")
+        transpositions = rng.integers(0, k, size=2 * n)
+    else:
+        transpositions = np.asarray(transpositions)
+        if transpositions.shape != (2 * n,):
+            raise ConfigurationError("need 2 * n_pairs transposition draws")
+    _transpose_rows(particles.perm, a, transpositions[:n])
+    _transpose_rows(particles.perm, b, transpositions[n:])
+
+    return CollisionStats(
+        n_collisions=n,
+        energy_exchanged=float(np.abs(e_trans_after - e_trans_before).sum()),
+    )
+
+
+def _transpose_rows(perm: np.ndarray, rows: np.ndarray, js: np.ndarray) -> None:
+    """Swap element js[i] with element 0 in perm[rows[i]], vectorized.
+
+    ``rows`` may repeat only if the repeats carry identical swaps; the
+    collision pairing guarantees disjoint rows within each call.
+    """
+    tmp = perm[rows, js].copy()
+    perm[rows, js] = perm[rows, 0]
+    perm[rows, 0] = tmp

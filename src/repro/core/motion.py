@@ -1,0 +1,39 @@
+"""Collisionless motion of particles (sub-step 1).
+
+Eq. (2) of the paper: with time normalized by the step,
+``x_i^(n+1) = x_i^n + u_i``.  "The implementation of particle motion in
+the particles-to-processors mapping is very straightforward and
+perfectly load balanced.  All particles simply add their velocity
+components to the appropriate position co-ordinate.  All processors are
+active for this event."
+
+The update is in place (one fused add per coordinate -- the guides'
+"in-place operations" rule) and vectorized over the whole population.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.particles import ParticleArrays
+
+
+def advance(particles: ParticleArrays) -> None:
+    """Advance positions by one time step, in place."""
+    particles.x += particles.u
+    particles.y += particles.v
+    # No z position in the 2-D configuration; w still participates in
+    # collisions (three translational degrees of freedom).
+
+
+def advance_with_z(particles: ParticleArrays, z: np.ndarray, depth: float) -> np.ndarray:
+    """3-D-ready variant: also advance a periodic z coordinate.
+
+    The paper's Future Work extends the code to 3-D; the motion kernel
+    is the trivial part and is provided for the z-periodic slab
+    configuration.  Returns the wrapped z array.
+    """
+    advance(particles)
+    z = z + particles.w
+    np.mod(z, depth, out=z)
+    return z

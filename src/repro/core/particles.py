@@ -1,0 +1,233 @@
+"""Particle state: structure-of-arrays, one particle per virtual processor.
+
+The paper distinguishes the **physical state** of a particle -- position
+``(x, y)``, translational velocity ``(u, v, w)`` and rotational velocity
+``(r1, r2)``, "in two dimensions this representation requires seven
+distinct values" -- from the **computational state**, which adds the
+cell index and a five-element permutation vector used by the collision
+routine.
+
+The container is a structure of arrays (SoA), the layout both the CM's
+per-processor fields and NumPy vectorization want.  All methods that
+grow/shrink the population return (or build) new arrays; per-step
+kernels mutate columns in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.physics.distributions import sample_maxwellian, sample_rectangular
+from repro.physics.freestream import Freestream
+from repro.rng import random_permutation_table
+
+
+@dataclass
+class ParticleArrays:
+    """SoA particle population.
+
+    Attributes
+    ----------
+    x, y:
+        Positions, cell widths.  float64 (the CM engine mirrors state in
+        fixed point and round-trips through these columns).
+    u, v, w:
+        Translational velocity components, cell widths / step.  The z
+        component ``w`` exists even in 2-D (three translational degrees
+        of freedom).
+    rot:
+        ``(n, rotational_dof)`` rotational velocity components
+        (eq. (9): E_rot = 1/2 m r.r).
+    perm:
+        ``(n, 3 + rotational_dof)`` int8 permutation vectors (the
+        computational state; each row is a permutation of 0..k-1).
+    cell:
+        int64 flattened cell index (computational state; refreshed each
+        step after motion).
+    z:
+        Optional z position for the 3-D extension (Future Work); in the
+        2-D configuration it is a zero-filled column that the kernels
+        ignore.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+    w: np.ndarray
+    rot: np.ndarray
+    perm: np.ndarray
+    cell: np.ndarray
+    z: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.z is None:
+            self.z = np.zeros_like(self.x)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def empty(cls, rotational_dof: int = 2) -> "ParticleArrays":
+        """A zero-particle population (e.g. a drained reservoir)."""
+        k = 3 + rotational_dof
+        return cls(
+            x=np.empty(0),
+            y=np.empty(0),
+            u=np.empty(0),
+            v=np.empty(0),
+            w=np.empty(0),
+            rot=np.empty((0, rotational_dof)),
+            perm=np.empty((0, k), dtype=np.int8),
+            cell=np.empty(0, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_freestream(
+        cls,
+        rng: np.random.Generator,
+        n: int,
+        freestream: Freestream,
+        x_range: Tuple[float, float],
+        y_range: Tuple[float, float],
+        rotational_dof: int = 2,
+        rectangular: bool = False,
+    ) -> "ParticleArrays":
+        """Seed ``n`` particles uniformly in a box at freestream state.
+
+        ``rectangular=True`` uses the cheap uniform velocity sampler
+        (reservoir style); otherwise proper Maxwellian sampling.
+        """
+        if n < 0:
+            raise ConfigurationError("n must be non-negative")
+        if x_range[1] < x_range[0] or y_range[1] < y_range[0]:
+            raise ConfigurationError("invalid seeding box")
+        sampler = sample_rectangular if rectangular else sample_maxwellian
+        vel = sampler(rng, n, freestream.c_mp, drift=freestream.drift_vector())
+        rot = sampler(rng, n, freestream.c_mp, components=rotational_dof)
+        return cls(
+            x=rng.uniform(x_range[0], x_range[1], size=n),
+            y=rng.uniform(y_range[0], y_range[1], size=n),
+            u=vel[:, 0].copy(),
+            v=vel[:, 1].copy(),
+            w=vel[:, 2].copy(),
+            rot=rot,
+            perm=random_permutation_table(rng, n, length=3 + rotational_dof),
+            cell=np.zeros(n, dtype=np.int64),
+        )
+
+    # -- invariants / views --------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def rotational_dof(self) -> int:
+        return self.rot.shape[1]
+
+    def validate(self) -> None:
+        """Check internal consistency (used by tests and debug runs).
+
+        Catches length mismatches, corrupted permutation rows, and
+        non-finite state (NaN/inf positions or velocities) -- the
+        failure modes the fault-injection tests exercise.
+        """
+        n = self.n
+        k = 3 + self.rotational_dof
+        for name in ("y", "u", "v", "w", "cell", "z"):
+            col = getattr(self, name)
+            if col.shape[0] != n:
+                raise ConfigurationError(f"column {name} has wrong length")
+        for name in ("x", "y", "u", "v", "w", "z"):
+            col = getattr(self, name)
+            if col.size and not np.isfinite(col).all():
+                raise ConfigurationError(f"column {name} has non-finite values")
+        if self.rot.size and not np.isfinite(self.rot).all():
+            raise ConfigurationError("rot has non-finite values")
+        if self.rot.shape != (n, self.rotational_dof):
+            raise ConfigurationError("rot has wrong shape")
+        if self.perm.shape != (n, k):
+            raise ConfigurationError("perm has wrong shape")
+        if n:
+            sorted_rows = np.sort(self.perm, axis=1)
+            if not np.array_equal(
+                sorted_rows, np.broadcast_to(np.arange(k, dtype=np.int8), (n, k))
+            ):
+                raise ConfigurationError("perm rows are not permutations")
+
+    # -- energy / momentum bookkeeping -------------------------------------
+
+    def kinetic_energy(self) -> float:
+        """Total translational kinetic energy, m = 1."""
+        return 0.5 * float(
+            np.dot(self.u, self.u) + np.dot(self.v, self.v) + np.dot(self.w, self.w)
+        )
+
+    def rotational_energy(self) -> float:
+        """Total rotational energy 1/2 m sum(r.r) (eq. (9))."""
+        return 0.5 * float((self.rot**2).sum())
+
+    def total_energy(self) -> float:
+        """Kinetic plus rotational energy."""
+        return self.kinetic_energy() + self.rotational_energy()
+
+    def momentum(self) -> np.ndarray:
+        """Total linear momentum vector (m = 1)."""
+        return np.array([self.u.sum(), self.v.sum(), self.w.sum()])
+
+    # -- population surgery ----------------------------------------------
+
+    def select(self, mask_or_index: np.ndarray) -> "ParticleArrays":
+        """A new population of the selected particles (copies)."""
+        sel = mask_or_index
+        return ParticleArrays(
+            x=self.x[sel].copy(),
+            y=self.y[sel].copy(),
+            u=self.u[sel].copy(),
+            v=self.v[sel].copy(),
+            w=self.w[sel].copy(),
+            rot=self.rot[sel].copy(),
+            perm=self.perm[sel].copy(),
+            cell=self.cell[sel].copy(),
+            z=self.z[sel].copy(),
+        )
+
+    def reorder_inplace(self, order: np.ndarray) -> None:
+        """Apply a sort order to every column (the post-sort layout)."""
+        self.x = self.x[order]
+        self.y = self.y[order]
+        self.u = self.u[order]
+        self.v = self.v[order]
+        self.w = self.w[order]
+        self.rot = self.rot[order]
+        self.perm = self.perm[order]
+        self.cell = self.cell[order]
+        self.z = self.z[order]
+
+    @staticmethod
+    def concatenate(a: "ParticleArrays", b: "ParticleArrays") -> "ParticleArrays":
+        """Concatenate two populations (e.g. flow + plunger refill)."""
+        if a.rotational_dof != b.rotational_dof:
+            raise ConfigurationError("rotational dof mismatch")
+        return ParticleArrays(
+            x=np.concatenate((a.x, b.x)),
+            y=np.concatenate((a.y, b.y)),
+            u=np.concatenate((a.u, b.u)),
+            v=np.concatenate((a.v, b.v)),
+            w=np.concatenate((a.w, b.w)),
+            rot=np.concatenate((a.rot, b.rot)),
+            perm=np.concatenate((a.perm, b.perm)),
+            cell=np.concatenate((a.cell, b.cell)),
+            z=np.concatenate((a.z, b.z)),
+        )
+
+    def copy(self) -> "ParticleArrays":
+        """Deep copy of the population."""
+        return self.select(slice(None))

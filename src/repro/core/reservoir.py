@@ -1,0 +1,136 @@
+"""The particle reservoir.
+
+"Those particles exiting through the soft downstream boundary are
+removed from the physical space of the simulation and put in a separate
+reservoir.  These particles are given velocities from a rectangular
+distribution with the same variance as the freestream, therefore after a
+few time steps collisions with other reservoir particles relaxes these
+to the correct Gaussian distributions.  When new particles need to be
+introduced at the upstream boundary they are taken from this reservoir."
+
+The reservoir earns its keep three ways (paper, "Particle Motion and
+Boundary Interaction"):
+
+* idle virtual processors do useful work (Gaussianizing future inflow)
+  instead of wasting their SIMD time slice;
+* no transcendental functions or repeated random draws are needed to
+  sample a Maxwellian -- a single uniform draw per component suffices;
+* the start-up transient's surplus particles have somewhere to live.
+
+The emulation models the reservoir as a single well-mixed cell: each
+step the population is randomly re-paired and every pair collides
+(Maxwell-molecule collisions conserve the population's energy and
+momentum, so the distribution relaxes to a drifting Maxwellian with the
+freestream's mean and variance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.core.collision import collide_pairs
+from repro.core.particles import ParticleArrays
+from repro.errors import ConfigurationError
+from repro.physics.distributions import sample_rectangular
+from repro.physics.freestream import Freestream
+from repro.rng import random_permutation_table
+
+
+class Reservoir:
+    """Holding tank for particles outside the physical space.
+
+    Parameters
+    ----------
+    freestream:
+        Target conditions: deposited particles are re-dealt rectangular
+        velocities with the freestream variance around the freestream
+        drift, and relax toward the matching Maxwellian.
+    rotational_dof:
+        Internal degrees of freedom of the molecule model.
+    """
+
+    def __init__(self, freestream: Freestream, rotational_dof: int = 2) -> None:
+        self.freestream = freestream
+        self.particles = ParticleArrays.empty(rotational_dof)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.particles.n
+
+    @property
+    def rotational_dof(self) -> int:
+        return self.particles.rotational_dof
+
+    # -- deposit / withdraw --------------------------------------------------
+
+    def deposit(self, rng: np.random.Generator, n: int) -> None:
+        """Add ``n`` particles with rectangular freestream-variance state.
+
+        The incoming particles' actual post-shock velocities are
+        discarded (the paper re-deals them; keeping hot wake velocities
+        would bias the future inflow), so only the count matters.
+        """
+        if n < 0:
+            raise ConfigurationError("n must be non-negative")
+        if n == 0:
+            return
+        rdof = self.rotational_dof
+        vel = sample_rectangular(
+            rng, n, self.freestream.c_mp, drift=self.freestream.drift_vector()
+        )
+        rot = sample_rectangular(rng, n, self.freestream.c_mp, components=rdof)
+        newcomers = ParticleArrays(
+            x=np.zeros(n),
+            y=np.zeros(n),
+            u=vel[:, 0].copy(),
+            v=vel[:, 1].copy(),
+            w=vel[:, 2].copy(),
+            rot=rot,
+            perm=random_permutation_table(rng, n, length=3 + rdof),
+            cell=np.zeros(n, dtype=np.int64),
+        )
+        self.particles = ParticleArrays.concatenate(self.particles, newcomers)
+
+    def withdraw(self, rng: np.random.Generator, n: int) -> ParticleArrays:
+        """Remove and return ``n`` particles (velocities as relaxed).
+
+        If the reservoir runs short, the balance is topped up with fresh
+        rectangular-distribution particles first (they enter the flow
+        less Gaussian than usual; the paper's sizing -- ~10% of the
+        population idles in the reservoir -- makes this rare).
+        """
+        if n < 0:
+            raise ConfigurationError("n must be non-negative")
+        if n > self.size:
+            self.deposit(rng, n - self.size)
+        take = rng.permutation(self.size)[:n]
+        out = self.particles.select(take)
+        keep = np.ones(self.size, dtype=bool)
+        keep[take] = False
+        self.particles = self.particles.select(keep)
+        return out
+
+    # -- relaxation -----------------------------------------------------------
+
+    def mix(self, rng: np.random.Generator, rounds: int = 1) -> int:
+        """Collide the reservoir against itself for ``rounds`` steps.
+
+        Every round randomly re-pairs the population and collides every
+        pair (the reservoir is one conceptual cell at freestream density
+        where candidates always collide).  Returns collisions performed.
+        """
+        total = 0
+        for _ in range(rounds):
+            n = self.size
+            if n < 2:
+                break
+            order = rng.permutation(n)
+            n_pairs = n // 2
+            first = order[0 : 2 * n_pairs : 2]
+            second = order[1 : 2 * n_pairs : 2]
+            stats = collide_pairs(self.particles, first, second, rng=rng)
+            total += stats.n_collisions
+        return total

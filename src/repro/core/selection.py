@@ -1,0 +1,172 @@
+"""The McDonald-Baganoff collision selection rule (sub-step 3, part 4).
+
+Unlike Bird's per-cell time counter, "a probability of collision is
+computed for each pair of collision candidates and collisions are
+carried out in accordance with this probability.  The decision to
+perform a collision is applied on the individual candidate pairs and not
+on the cell as a whole.  Consequently ... the selection rule can be
+parallelized at a particle level" while conserving energy and momentum
+per collision.
+
+Equations (3)-(8) of the paper:
+
+    t_c      = 1 / (n sigma c_bar)                       (3)
+    P_c      = dt / t_c          (valid for dt << t_c)    (4)
+    P_c      = n sigma g dt                               (5)
+    P_c ~    n g^(1 - 4/alpha)                            (6)
+    P_c/P_co = (n/n_oo) (g/g_oo)^(1-4/alpha)              (7)
+    P_c/P_co = n/n_oo            (Maxwell, alpha = 4)     (8)
+
+The freestream anchor ``P_co`` comes from
+:attr:`repro.physics.freestream.Freestream.collision_probability`.
+Near-continuum runs (lambda = 0) saturate every candidate at P = 1:
+"all collision candidates must collide and the number of collisions in a
+cell is just equal to half the number of particles in the cell."
+
+Cut cells: the local number density divides by the cell's **fractional
+open volume** ("where cells are divided by the wedge special allowance
+must be made for the fractional cell volume when employing the selection
+rule").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.pairing import CandidatePairs
+from repro.core.particles import ParticleArrays
+from repro.errors import ConfigurationError
+from repro.physics.freestream import Freestream
+from repro.physics.molecules import MolecularModel
+
+#: Cells whose open fraction falls below this are treated as fully
+#: blocked for density purposes (they should hold no particles; the
+#: floor avoids division blow-ups on stray reflections mid-resolution).
+MIN_VOLUME_FRACTION = 1.0 / 64.0
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of the selection rule for one step.
+
+    Attributes
+    ----------
+    accept:
+        Boolean per *pair* (aligned with the pairing arrays): True for
+        pairs that will actually collide.
+    probability:
+        The computed per-pair probability (0 for non-candidates), before
+        the random draw -- kept for diagnostics and tests.
+    relative_speed:
+        Per-pair translational relative speed g (0 for non-candidates).
+    """
+
+    accept: np.ndarray
+    probability: np.ndarray
+    relative_speed: np.ndarray
+
+    @property
+    def n_collisions(self) -> int:
+        return int(np.count_nonzero(self.accept))
+
+
+def pair_relative_speed(
+    particles: ParticleArrays, pairs: CandidatePairs
+) -> np.ndarray:
+    """Translational relative speed |c1 - c2| of every formed pair."""
+    a, b = pairs.first, pairs.second
+    du = particles.u[a] - particles.u[b]
+    dv = particles.v[a] - particles.v[b]
+    dw = particles.w[a] - particles.w[b]
+    return np.sqrt(du * du + dv * dv + dw * dw)
+
+
+def collision_probabilities(
+    particles: ParticleArrays,
+    pairs: CandidatePairs,
+    freestream: Freestream,
+    model: MolecularModel,
+    cell_counts: np.ndarray,
+    volume_fractions: Optional[np.ndarray] = None,
+) -> tuple:
+    """Per-pair collision probability via eq. (7)/(8).
+
+    Parameters
+    ----------
+    cell_counts:
+        Particles per cell (length n_cells) for *this* population.
+    volume_fractions:
+        Open area fraction per cell (flattened, length n_cells);
+        ``None`` means all cells fully open.
+
+    Returns ``(probability, relative_speed)`` arrays over pairs.
+    """
+    n_pairs = pairs.n_pairs
+    prob = np.zeros(n_pairs)
+    g = np.zeros(n_pairs)
+    if n_pairs == 0:
+        return prob, g
+
+    cand = pairs.same_cell
+    a = pairs.first[cand]
+    cells = particles.cell[a]
+
+    g_all = pair_relative_speed(particles, pairs)
+    g[cand] = g_all[cand]
+
+    if freestream.is_near_continuum:
+        # The lambda -> 0 validation limit: every candidate collides.
+        prob[cand] = 1.0
+        return prob, g
+
+    counts = np.asarray(cell_counts, dtype=np.float64)
+    if volume_fractions is not None:
+        vf = np.maximum(np.asarray(volume_fractions, dtype=np.float64),
+                        MIN_VOLUME_FRACTION)
+        density = counts[cells] / vf[cells]
+    else:
+        density = counts[cells]
+
+    p = (
+        freestream.collision_probability
+        * (density / freestream.density)
+    )
+    expo = model.speed_exponent
+    if expo != 0.0:
+        g_ref = np.sqrt(2.0) * freestream.mean_speed  # mean relative speed
+        p = p * model.speed_factor(g[cand], g_ref)
+    prob[cand] = np.minimum(p, 1.0)
+    return prob, g
+
+
+def select_collisions(
+    particles: ParticleArrays,
+    pairs: CandidatePairs,
+    freestream: Freestream,
+    model: MolecularModel,
+    cell_counts: np.ndarray,
+    volume_fractions: Optional[np.ndarray] = None,
+    rng: Optional[np.random.Generator] = None,
+    draws: Optional[np.ndarray] = None,
+) -> SelectionResult:
+    """Apply the selection rule: probability, then an acceptance draw.
+
+    ``draws`` lets the CM engine supply its own uniform numbers (from
+    the quick-and-dirty bit stream); otherwise ``rng`` provides them.
+    """
+    prob, g = collision_probabilities(
+        particles, pairs, freestream, model, cell_counts, volume_fractions
+    )
+    if draws is None:
+        if rng is None:
+            raise ConfigurationError("need rng or draws")
+        draws = rng.random(pairs.n_pairs)
+    else:
+        draws = np.asarray(draws, dtype=np.float64)
+        if draws.shape != (pairs.n_pairs,):
+            raise ConfigurationError("draws must have one entry per pair")
+    accept = draws < prob
+    return SelectionResult(accept=accept, probability=prob, relative_speed=g)

@@ -1,0 +1,308 @@
+"""The wind-tunnel simulation driver (the NumPy reference engine).
+
+Assembles the four sub-steps of the algorithm -- collisionless motion,
+boundary enforcement, collision-partner selection (cell indexing +
+randomized sort + even/odd pairing + selection rule) and collision --
+into the paper's time-stepping loop, with the reservoir running its
+self-collisions on the side and the sampler accumulating time averages
+after the transient.
+
+This driver *is* the physics-reference ("float64") engine; the CM-2
+emulation engine (:mod:`repro.core.engine_cm`) runs the identical loop
+in fixed point with cost accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import DEFAULT_SORT_SCALE
+from repro.core import motion
+from repro.core.boundary import BoundaryStats, WindTunnelBoundaries
+from repro.core.cells import assign_cells, cell_populations
+from repro.core.collision import collide_pairs
+from repro.core.pairing import even_odd_pairs, pairing_efficiency
+from repro.core.particles import ParticleArrays
+from repro.core.reservoir import Reservoir
+from repro.core.sampling import CellSampler
+from repro.core.selection import select_collisions
+from repro.core.sortstep import sort_by_cell
+from repro.errors import ConfigurationError
+from repro.geometry.domain import Domain
+from repro.geometry.wedge import Wedge
+from repro.physics.freestream import Freestream
+from repro.physics.molecules import MolecularModel, maxwell_molecule
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything needed to define a wind-tunnel run.
+
+    The defaults reproduce a scaled version of the paper's validation
+    configuration: Mach 4 flow over a 30-degree wedge (leading edge 20
+    cells in, 25-cell base) on a 98 x 64 grid.
+
+    Parameters
+    ----------
+    domain, freestream, wedge:
+        The tunnel, the oncoming stream, and the body (``None`` for an
+        empty tunnel).
+    model:
+        Molecular model (Maxwell diatomic by default).
+    sort_scale:
+        Randomization factor of the sort keys (1 disables mixing; the
+        ablation configuration).
+    plunger_trigger:
+        Upstream plunger withdrawal point, cell widths.
+    reservoir_fraction:
+        Initial reservoir population as a fraction of the flow
+        population (the paper idles ~10% of its particles there).
+    reservoir_mix_rounds:
+        Reservoir self-collision rounds per step.
+    seed:
+        Master seed; every sub-stream derives from it.
+    """
+
+    domain: Domain = field(default_factory=Domain)
+    freestream: Freestream = field(default_factory=Freestream)
+    wedge: Optional[Wedge] = field(default_factory=Wedge)
+    model: MolecularModel = field(default_factory=maxwell_molecule)
+    sort_scale: int = DEFAULT_SORT_SCALE
+    plunger_trigger: float = 4.0
+    reservoir_fraction: float = 0.1
+    reservoir_mix_rounds: int = 1
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        if self.wedge is not None:
+            self.wedge.validate_in(self.domain)
+            self._warn_if_detached()
+        if not 0.0 <= self.reservoir_fraction <= 1.0:
+            raise ConfigurationError("reservoir_fraction must be in [0, 1]")
+        if self.reservoir_mix_rounds < 0:
+            raise ConfigurationError("reservoir_mix_rounds must be >= 0")
+        self.freestream.check_selection_rule_validity()
+
+    def _warn_if_detached(self) -> None:
+        """Warn when the wedge angle detaches the shock at this Mach.
+
+        Detached (bow-shock) flows simulate fine, but the theta-beta-M
+        validation metrology assumes an attached oblique shock, so the
+        configuration flags the regime change instead of letting the
+        analysis fail mysteriously later.
+        """
+        import math
+        import warnings
+
+        from repro.physics import theory
+
+        try:
+            m_min = theory.minimum_attachment_mach(
+                math.radians(self.wedge.angle_deg), self.freestream.gamma
+            )
+        except ConfigurationError:
+            m_min = float("inf")
+        if self.freestream.mach < m_min:
+            warnings.warn(
+                f"Mach {self.freestream.mach:g} is below the attachment "
+                f"limit {m_min:.2f} for a {self.wedge.angle_deg:g} deg "
+                "wedge: expect a detached bow shock (oblique-shock "
+                "metrology will not apply)",
+                stacklevel=3,
+            )
+
+
+@dataclass(frozen=True)
+class StepDiagnostics:
+    """Per-step observability: what the step did and what it conserved."""
+
+    step: int
+    n_flow: int
+    n_reservoir: int
+    n_candidates: int
+    n_collisions: int
+    pairing_efficiency: float
+    mean_collision_probability: float
+    boundary: BoundaryStats
+    total_energy: float
+    momentum_x: float
+
+
+class Simulation:
+    """The reference wind-tunnel simulation.
+
+    Typical use::
+
+        sim = Simulation(SimulationConfig(seed=7))
+        sim.run(300)                  # transient to steady state
+        sim.run(400, sample=True)     # accumulate the time average
+        rho = sim.sampler.density_ratio(sim.config.freestream.density)
+    """
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.rng = make_rng(config.seed)
+        self.step_count = 0
+
+        # Fractional cell volumes (the selection rule and the sampler
+        # both need them when a wedge cuts the grid).
+        if config.wedge is not None:
+            self.volume_fractions = config.wedge.open_volume_fractions(
+                config.domain
+            )
+        else:
+            self.volume_fractions = np.ones(config.domain.shape)
+        self._vf_flat = self.volume_fractions.reshape(-1)
+
+        self.boundaries = WindTunnelBoundaries(
+            domain=config.domain,
+            freestream=config.freestream,
+            wedge=config.wedge,
+            plunger_trigger=config.plunger_trigger,
+        )
+        self.particles = self._seed_flow()
+        self.reservoir = Reservoir(
+            config.freestream, rotational_dof=config.model.rotational_dof
+        )
+        n_res = int(round(config.reservoir_fraction * self.particles.n))
+        self.reservoir.deposit(self.rng, n_res)
+        self.sampler = CellSampler(config.domain, self.volume_fractions)
+        #: Surface-load accumulator (pressure / drag on the wedge);
+        #: armed only during sampling steps so its averages align with
+        #: the field averages.
+        if config.wedge is not None:
+            from repro.core.surface import SurfaceSampler
+
+            self.surface = SurfaceSampler(config.wedge)
+        else:
+            self.surface = None
+        #: Optional extra probes (e.g. analysis.vdf.VDFProbe); each
+        #: object's ``sample(particles)`` runs on sampling steps.
+        self.probes: list = []
+        assign_cells(self.particles, config.domain)
+
+    # -- construction helpers ---------------------------------------------
+
+    def _seed_flow(self) -> ParticleArrays:
+        """Fill the open region at freestream density (rejection sample)."""
+        cfg = self.config
+        open_area = float(self._vf_flat.sum())
+        n_target = int(round(cfg.freestream.density * open_area))
+        parts = ParticleArrays.from_freestream(
+            self.rng,
+            n_target,
+            cfg.freestream,
+            x_range=(0.0, cfg.domain.width),
+            y_range=(0.0, cfg.domain.height),
+            rotational_dof=cfg.model.rotational_dof,
+        )
+        if cfg.wedge is None:
+            return parts
+        # Rejection passes: re-draw positions of particles that landed
+        # inside the wedge until none remain (area ratio ~0.97 per pass).
+        for _ in range(64):
+            bad = cfg.wedge.inside(parts.x, parts.y)
+            n_bad = int(np.count_nonzero(bad))
+            if n_bad == 0:
+                break
+            parts.x[bad] = self.rng.uniform(0.0, cfg.domain.width, size=n_bad)
+            parts.y[bad] = self.rng.uniform(0.0, cfg.domain.height, size=n_bad)
+        return parts
+
+    # -- stepping -----------------------------------------------------------
+
+    def step(self, sample: bool = False) -> StepDiagnostics:
+        """Advance the simulation by one time step."""
+        cfg = self.config
+        parts = self.particles
+
+        # 1) Collisionless motion.
+        motion.advance(parts)
+
+        # 2) Boundary conditions (may rebuild the population arrays).
+        #    Surface loads accumulate only during sampling steps.
+        self.boundaries.surface_sampler = (
+            self.surface if (sample and self.surface is not None) else None
+        )
+        parts, bstats = self.boundaries.apply_rebuilding(
+            parts, self.reservoir, self.rng
+        )
+
+        # 3) Selection of collision partners.
+        assign_cells(parts, cfg.domain)
+        sort_by_cell(parts, rng=self.rng, scale=cfg.sort_scale)
+        pairs = even_odd_pairs(parts.cell)
+        counts = cell_populations(parts.cell, cfg.domain.n_cells)
+        selection = select_collisions(
+            parts,
+            pairs,
+            cfg.freestream,
+            cfg.model,
+            counts,
+            volume_fractions=self._vf_flat,
+            rng=self.rng,
+        )
+
+        # 4) Collision of selected partners.
+        first = pairs.first[selection.accept]
+        second = pairs.second[selection.accept]
+        collide_pairs(
+            parts,
+            first,
+            second,
+            rng=self.rng,
+            internal_exchange_probability=(
+                cfg.model.internal_exchange_probability
+            ),
+        )
+
+        # Side work: the reservoir Gaussianizes itself.
+        if cfg.reservoir_mix_rounds:
+            self.reservoir.mix(self.rng, rounds=cfg.reservoir_mix_rounds)
+
+        self.particles = parts
+        self.step_count += 1
+        if sample:
+            self.sampler.accumulate(parts)
+            if self.surface is not None:
+                self.surface.end_step()
+            for probe in self.probes:
+                probe.sample(parts)
+
+        cand = pairs.same_cell
+        mean_p = (
+            float(selection.probability[cand].mean()) if cand.any() else 0.0
+        )
+        return StepDiagnostics(
+            step=self.step_count,
+            n_flow=parts.n,
+            n_reservoir=self.reservoir.size,
+            n_candidates=pairs.n_candidates,
+            n_collisions=selection.n_collisions,
+            pairing_efficiency=pairing_efficiency(pairs),
+            mean_collision_probability=mean_p,
+            boundary=bstats,
+            total_energy=parts.total_energy(),
+            momentum_x=float(parts.u.sum()),
+        )
+
+    def run(self, n_steps: int, sample: bool = False) -> StepDiagnostics:
+        """Run ``n_steps`` steps; returns the final step's diagnostics."""
+        if n_steps <= 0:
+            raise ConfigurationError("n_steps must be positive")
+        diag = None
+        for _ in range(n_steps):
+            diag = self.step(sample=sample)
+        return diag
+
+    # -- results ------------------------------------------------------------
+
+    def density_ratio_field(self, correct_volumes: bool = True) -> np.ndarray:
+        """Time-averaged density / freestream density, ``(nx, ny)``."""
+        return self.sampler.density_ratio(
+            self.config.freestream.density, correct_volumes=correct_volumes
+        )

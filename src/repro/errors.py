@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration was supplied.
+
+    Raised, for example, when a wedge does not fit inside the wind
+    tunnel, when the freestream collision probability exceeds the
+    validity bound of the selection rule, or when a fixed-point value
+    overflows the Q8.23 format.
+    """
+
+
+class FixedPointOverflowError(ReproError):
+    """A fixed-point operation overflowed the 32-bit word."""
+
+
+class MachineError(ReproError):
+    """An invalid operation on the Connection Machine emulation substrate.
+
+    Raised for mismatched field lengths, sends outside the virtual
+    processor set, or exceeding per-processor memory.
+    """
+
+
+class GeometryError(ConfigurationError):
+    """Invalid geometric configuration (wedge outside domain, etc.)."""

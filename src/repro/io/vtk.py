@@ -1,0 +1,123 @@
+"""Legacy-VTK structured-points writer for field output.
+
+Density/temperature/Mach fields are cell data on a uniform grid --
+exactly the legacy VTK ``STRUCTURED_POINTS`` dataset, which every
+scientific visualizer (ParaView, VisIt, PyVista) reads natively.  The
+writer is pure text, dependency-free, and covers 2-D fields (written as
+a one-cell-thick 3-D grid) and 3-D fields.
+
+Example::
+
+    from repro.io.vtk import write_vtk_fields
+    write_vtk_fields("wedge.vtk", density_ratio=rho, mach=mach_field)
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _format_scalars(name: str, field: np.ndarray) -> str:
+    """One SCALARS block in x-fastest (VTK) order."""
+    # VTK wants x varying fastest: our fields are [i (x), j (y), (k)].
+    if field.ndim == 2:
+        ordered = field.T.reshape(-1)  # j slow, i fast
+    else:
+        ordered = np.transpose(field, (2, 1, 0)).reshape(-1)
+    lines = [f"SCALARS {name} float 1", "LOOKUP_TABLE default"]
+    vals = np.asarray(ordered, dtype=np.float64)
+    # 6 values per line keeps files diff-able and well under VTK's
+    # line-length limits.
+    for start in range(0, vals.size, 6):
+        chunk = vals[start : start + 6]
+        lines.append(" ".join(f"{v:.6g}" for v in chunk))
+    return "\n".join(lines)
+
+
+def write_vtk_fields(
+    path: PathLike,
+    origin=(0.0, 0.0, 0.0),
+    spacing=(1.0, 1.0, 1.0),
+    **fields: np.ndarray,
+) -> None:
+    """Write named cell-data fields to a legacy VTK file.
+
+    All fields must share one shape: ``(nx, ny)`` (written one cell
+    thick) or ``(nx, ny, nz)``.  Field names become the VTK scalar
+    names (letters, digits, underscores).
+    """
+    if not fields:
+        raise ConfigurationError("no fields given")
+    shapes = {np.asarray(f).shape for f in fields.values()}
+    if len(shapes) != 1:
+        raise ConfigurationError(f"fields disagree on shape: {shapes}")
+    shape = shapes.pop()
+    if len(shape) == 2:
+        nx, ny = shape
+        nz = 1
+    elif len(shape) == 3:
+        nx, ny, nz = shape
+    else:
+        raise ConfigurationError("fields must be 2-D or 3-D")
+    for name in fields:
+        if not name.replace("_", "").isalnum():
+            raise ConfigurationError(f"invalid VTK field name {name!r}")
+
+    header = [
+        "# vtk DataFile Version 3.0",
+        "repro field dump (Dagum 1989 reproduction)",
+        "ASCII",
+        "DATASET STRUCTURED_POINTS",
+        # Cell data on an (nx, ny, nz)-cell grid needs nx+1.. points.
+        f"DIMENSIONS {nx + 1} {ny + 1} {nz + 1}",
+        f"ORIGIN {origin[0]:g} {origin[1]:g} {origin[2]:g}",
+        f"SPACING {spacing[0]:g} {spacing[1]:g} {spacing[2]:g}",
+        f"CELL_DATA {nx * ny * nz}",
+    ]
+    blocks = [
+        _format_scalars(name, np.asarray(f, dtype=np.float64).reshape(
+            (nx, ny) if nz == 1 and len(shape) == 2 else shape
+        ))
+        for name, f in fields.items()
+    ]
+    pathlib.Path(path).write_text("\n".join(header + blocks) + "\n")
+
+
+def read_vtk_scalars(path: PathLike) -> dict:
+    """Minimal reader for files this module wrote (round-trip tests).
+
+    Returns ``{name: flat float array}`` plus ``"_dimensions"`` with the
+    (points) DIMENSIONS triple.  Not a general VTK parser.
+    """
+    text = pathlib.Path(path).read_text().splitlines()
+    out: dict = {}
+    dims = None
+    i = 0
+    current: list = []
+    name = None
+    while i < len(text):
+        line = text[i]
+        if line.startswith("DIMENSIONS"):
+            dims = tuple(int(t) for t in line.split()[1:4])
+        elif line.startswith("SCALARS"):
+            if name is not None:
+                out[name] = np.asarray(current, dtype=np.float64)
+            name = line.split()[1]
+            current = []
+            i += 1  # skip LOOKUP_TABLE
+        elif name is not None and line and not line[0].isalpha() and line[0] != "#":
+            current.extend(float(t) for t in line.split())
+        i += 1
+    if name is not None:
+        out[name] = np.asarray(current, dtype=np.float64)
+    if dims is None:
+        raise ConfigurationError("no DIMENSIONS found; not a repro VTK file")
+    out["_dimensions"] = dims
+    return out

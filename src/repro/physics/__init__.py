@@ -1,0 +1,26 @@
+"""Gas physics substrate: molecules, distributions, freestream, theory.
+
+* :mod:`~repro.physics.molecules` -- inverse-power-law molecular models
+  (Maxwell molecules are the paper's special case alpha = 4);
+* :mod:`~repro.physics.distributions` -- Maxwellian and rectangular
+  velocity samplers and distribution diagnostics;
+* :mod:`~repro.physics.freestream` -- the normalized freestream state
+  (Mach number, thermal speed scale, mean free path in cell widths) and
+  derived dimensionless groups (Knudsen, Reynolds);
+* :mod:`~repro.physics.theory` -- the inviscid 2-D theory the paper
+  validates against: oblique-shock (theta-beta-M), Rankine-Hugoniot
+  jumps, Prandtl-Meyer expansion and shock-thickness scales.
+"""
+
+from repro.physics.molecules import MolecularModel, maxwell_molecule, hard_sphere
+from repro.physics.freestream import Freestream
+from repro.physics import distributions, theory
+
+__all__ = [
+    "MolecularModel",
+    "maxwell_molecule",
+    "hard_sphere",
+    "Freestream",
+    "distributions",
+    "theory",
+]

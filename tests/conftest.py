@@ -1,0 +1,59 @@
+"""Shared fixtures: small, fast configurations for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import SimulationConfig
+from repro.geometry.domain import Domain
+from repro.geometry.wedge import Wedge
+from repro.physics.freestream import Freestream
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_domain():
+    return Domain(nx=30, ny=20)
+
+
+@pytest.fixture
+def small_wedge():
+    return Wedge(x_leading=8.0, base=10.0, angle_deg=30.0)
+
+
+@pytest.fixture
+def rarefied_freestream():
+    """Mach 4, finite mean free path, modest density."""
+    return Freestream(mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=10.0)
+
+
+@pytest.fixture
+def continuum_freestream():
+    """The paper's near-continuum validation limit (lambda = 0)."""
+    return Freestream(mach=4.0, c_mp=0.14, lambda_mfp=0.0, density=10.0)
+
+
+@pytest.fixture
+def small_config(small_domain, small_wedge, rarefied_freestream):
+    return SimulationConfig(
+        domain=small_domain,
+        freestream=rarefied_freestream,
+        wedge=small_wedge,
+        seed=77,
+    )
+
+
+@pytest.fixture
+def box_config(small_domain, rarefied_freestream):
+    """No wedge: an empty tunnel (for conservation-ish checks)."""
+    return SimulationConfig(
+        domain=small_domain,
+        freestream=rarefied_freestream,
+        wedge=None,
+        seed=77,
+    )

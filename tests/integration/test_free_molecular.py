@@ -1,0 +1,110 @@
+"""The free-molecular (Kn -> infinity) bracket of the wedge problem.
+
+The paper covers near-continuum (lambda = 0) and slip/transitional
+(Kn = 0.02); the opposite limit -- no collisions at all -- has an exact
+kinetic-theory surface-pressure formula, giving an end-to-end check of
+motion + boundary machinery with the collision operator switched off.
+"""
+
+import math
+
+import pytest
+
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.errors import ConfigurationError
+from repro.geometry.domain import Domain
+from repro.geometry.wedge import Wedge
+from repro.physics import theory
+from repro.physics.freestream import Freestream
+
+
+class TestTheoryFormula:
+    def test_static_gas_limit(self):
+        # No drift: the specular wall feels exactly p = rho R T.
+        assert theory.free_molecular_specular_pressure_ratio(
+            0.0, math.radians(30.0)
+        ) == pytest.approx(1.0)
+
+    def test_zero_incidence(self):
+        # Surface parallel to the stream: static pressure again.
+        assert theory.free_molecular_specular_pressure_ratio(
+            4.0, 0.0
+        ) == pytest.approx(1.0)
+
+    def test_hypersonic_newtonian_limit(self):
+        # s >> 1: p -> 2 rho U_n^2 = 2 rho gamma M^2 sin^2(theta) RT.
+        mach, ang = 20.0, math.radians(30.0)
+        expected = 2.0 * 1.4 * mach**2 * math.sin(ang) ** 2
+        got = theory.free_molecular_specular_pressure_ratio(mach, ang)
+        assert got == pytest.approx(expected, rel=0.01)
+
+    def test_monotone_in_incidence(self):
+        vals = [
+            theory.free_molecular_specular_pressure_ratio(4.0, math.radians(a))
+            for a in (5.0, 15.0, 30.0, 60.0)
+        ]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theory.free_molecular_specular_pressure_ratio(-1.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            theory.free_molecular_specular_pressure_ratio(2.0, -0.1)
+
+
+class TestCollisionlessWedge:
+    @pytest.fixture(scope="class")
+    def run(self):
+        # lambda >> domain: essentially no collisions happen.
+        cfg = SimulationConfig(
+            domain=Domain(49, 32),
+            freestream=Freestream(
+                mach=4.0, c_mp=0.14, lambda_mfp=1.0e9, density=14.0
+            ),
+            wedge=Wedge(x_leading=10.0, base=12.5, angle_deg=30.0),
+            seed=8,
+        )
+        sim = Simulation(cfg)
+        sim.run(180)
+        sim.run(220, sample=True)
+        return sim
+
+    def test_no_collisions_happen(self, run):
+        d = run.step()
+        assert d.n_collisions == 0
+
+    def test_surface_pressure_matches_free_molecular_theory(self, run):
+        fs = run.config.freestream
+        p_inf = fs.density * fs.rt
+        measured = run.surface.ramp_pressure()[2:-2].mean() / p_inf
+        expected = theory.free_molecular_specular_pressure_ratio(
+            fs.mach, run.config.wedge.angle, fs.gamma
+        )
+        assert measured == pytest.approx(expected, rel=0.1)
+
+    def test_free_molecular_pressure_exceeds_continuum(self, run):
+        # Specular free-molecular reflection doubles the incident
+        # normal momentum, beating the continuum post-shock pressure
+        # at this Mach/angle (22.9 vs 9.2 p_inf).
+        fs = run.config.freestream
+        fm = theory.free_molecular_specular_pressure_ratio(
+            fs.mach, run.config.wedge.angle, fs.gamma
+        )
+        from repro.core.surface import oblique_shock_surface_pressure_ratio
+
+        cont = oblique_shock_surface_pressure_ratio(
+            fs.mach, run.config.wedge.angle_deg, fs.gamma
+        )
+        assert fm > cont
+
+    def test_no_shock_forms(self, run):
+        # Without collisions there is no shock: the region over the
+        # ramp is a *two-stream overlap* (incident + specular beam,
+        # density ~1.9), nowhere near the 3.7 compression, and the
+        # upstream region stays exactly freestream (the reflected beam
+        # travels up-and-downstream, never upstream).
+        rho = run.density_ratio_field()
+        assert rho[2:8, 2:28].mean() == pytest.approx(1.0, abs=0.08)
+        overlap = rho[14:22, 6:12].mean()
+        assert 1.5 < overlap < 2.5
+        assert rho.max() < 3.0  # no Rankine-Hugoniot compression

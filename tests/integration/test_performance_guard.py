@@ -1,0 +1,58 @@
+"""Performance regression guards (generous bounds, CI-safe).
+
+The hpc-parallel guides' core demand is that the hot paths stay
+vectorized: a Python-level per-particle loop sneaking into motion,
+selection or collision shows up as a 10-100x throughput cliff.  These
+guards use deliberately loose thresholds (5-10x headroom over measured)
+so they only fire on structural regressions, not on machine noise.
+"""
+
+import time
+
+import pytest
+
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.geometry.domain import Domain
+from repro.geometry.wedge import Wedge
+from repro.physics.freestream import Freestream
+
+
+class TestThroughput:
+    def test_reference_engine_stays_vectorized(self):
+        # Measured ~0.3 us/particle/step on a laptop; 3 us is a 10x
+        # cushion that a per-particle Python loop (typically 30+ us)
+        # cannot hide under.
+        cfg = SimulationConfig(
+            domain=Domain(98, 64),
+            freestream=Freestream(
+                mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=10.0
+            ),
+            wedge=Wedge(x_leading=20.0, base=25.0, angle_deg=30.0),
+            seed=1,
+        )
+        sim = Simulation(cfg)
+        sim.run(5)  # warm up
+        n = sim.particles.n
+        steps = 20
+        t0 = time.perf_counter()
+        sim.run(steps)
+        per_particle_us = (time.perf_counter() - t0) / steps / n * 1e6
+        assert per_particle_us < 3.0, (
+            f"{per_particle_us:.2f} us/particle/step: a hot path has "
+            "likely devectorized"
+        )
+
+    def test_seeding_is_fast(self):
+        # Rejection seeding must not loop per particle either.
+        cfg = SimulationConfig(
+            domain=Domain(98, 64),
+            freestream=Freestream(
+                mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=20.0
+            ),
+            wedge=Wedge(x_leading=20.0, base=25.0, angle_deg=30.0),
+            seed=2,
+        )
+        t0 = time.perf_counter()
+        sim = Simulation(cfg)
+        assert time.perf_counter() - t0 < 5.0
+        assert sim.particles.n > 100_000

@@ -1,0 +1,51 @@
+"""Seed robustness: the physics must not depend on the random stream.
+
+DSMC results are statistical; the validation numbers must agree across
+independent random seeds within their statistical scatter, or the
+"result" is an artifact of one lucky stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.shock import fit_shock_angle, post_shock_plateau
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.geometry.domain import Domain
+from repro.geometry.wedge import Wedge
+from repro.physics.freestream import Freestream
+
+SEEDS = (101, 202, 303)
+
+
+@pytest.fixture(scope="module")
+def three_runs():
+    results = []
+    for seed in SEEDS:
+        cfg = SimulationConfig(
+            domain=Domain(49, 32),
+            freestream=Freestream(
+                mach=4.0, c_mp=0.14, lambda_mfp=0.0, density=12.0
+            ),
+            wedge=Wedge(x_leading=10.0, base=12.5, angle_deg=30.0),
+            seed=seed,
+        )
+        sim = Simulation(cfg)
+        sim.run(200)
+        sim.run(200, sample=True)
+        rho = sim.density_ratio_field()
+        fit = fit_shock_angle(rho, cfg.wedge)
+        plateau = post_shock_plateau(rho, cfg.wedge, fit)
+        results.append((fit.angle_deg, plateau))
+    return results
+
+
+class TestSeedIndependence:
+    def test_shock_angles_agree(self, three_runs):
+        angles = [r[0] for r in three_runs]
+        assert max(angles) - min(angles) < 3.0
+        assert np.mean(angles) == pytest.approx(45.0, abs=2.5)
+
+    def test_plateaus_agree(self, three_runs):
+        plateaus = [r[1] for r in three_runs]
+        assert max(plateaus) - min(plateaus) < 0.3
+        assert np.mean(plateaus) == pytest.approx(3.7, rel=0.08)

@@ -1,0 +1,111 @@
+"""Streamline tracing: flow turning through the shock and the fan."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.streamlines import (
+    Streamline,
+    shock_deflection_from_streamline,
+    trace_streamline,
+)
+from repro.core.cells import assign_cells
+from repro.core.particles import ParticleArrays
+from repro.core.sampling import CellSampler
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.errors import ConfigurationError
+from repro.geometry.domain import Domain
+from repro.geometry.wedge import Wedge
+from repro.physics.freestream import Freestream
+from repro.rng import make_rng
+
+
+def uniform_sampler(domain, angle_deg=0.0, n=40_000, seed=3):
+    """A sampler filled with a uniform stream at the given direction."""
+    rng = make_rng(seed)
+    fs = Freestream(mach=4.0, c_mp=0.05, lambda_mfp=2.0, density=8.0)
+    pop = ParticleArrays.from_freestream(
+        rng, n, fs, (0, domain.width), (0, domain.height)
+    )
+    a = np.radians(angle_deg)
+    speed = np.hypot(pop.u, pop.v)
+    pop.u = speed * np.cos(a)
+    pop.v = speed * np.sin(a)
+    assign_cells(pop, domain)
+    s = CellSampler(domain)
+    s.accumulate(pop)
+    return s
+
+
+class TestTracerMechanics:
+    def test_straight_stream_goes_straight(self):
+        d = Domain(30, 20)
+        s = uniform_sampler(d, angle_deg=0.0)
+        line = trace_streamline(s, d, (2.0, 10.0))
+        assert line.x[-1] > 25.0
+        assert abs(line.y[-1] - 10.0) < 0.5
+        assert np.abs(line.flow_angles_deg()).mean() < 2.0
+
+    def test_inclined_stream_follows_angle(self):
+        d = Domain(30, 20)
+        s = uniform_sampler(d, angle_deg=20.0)
+        line = trace_streamline(s, d, (2.0, 2.0))
+        angles = line.flow_angles_deg()
+        assert angles.mean() == pytest.approx(20.0, abs=2.0)
+
+    def test_stops_at_boundary(self):
+        d = Domain(30, 20)
+        s = uniform_sampler(d, angle_deg=0.0)
+        line = trace_streamline(s, d, (28.0, 10.0))
+        assert line.x[-1] < 30.0
+
+    def test_validation(self):
+        d = Domain(30, 20)
+        s = uniform_sampler(d)
+        with pytest.raises(ConfigurationError):
+            trace_streamline(s, d, (40.0, 5.0))
+        with pytest.raises(ConfigurationError):
+            trace_streamline(s, d, (2.0, 5.0), step=0.0)
+
+
+class TestWedgeDeflection:
+    @pytest.fixture(scope="class")
+    def wedge_run(self):
+        cfg = SimulationConfig(
+            domain=Domain(49, 32),
+            freestream=Freestream(
+                mach=4.0, c_mp=0.14, lambda_mfp=0.0, density=14.0
+            ),
+            wedge=Wedge(x_leading=10.0, base=12.5, angle_deg=30.0),
+            seed=12,
+        )
+        sim = Simulation(cfg)
+        sim.run(220)
+        sim.run(220, sample=True)
+        return sim
+
+    def test_streamline_deflects_by_wedge_angle(self, wedge_run):
+        # The inviscid anchor: crossing the attached shock turns the
+        # flow by exactly the wedge angle (30 degrees).
+        sim = wedge_run
+        deflection = shock_deflection_from_streamline(
+            sim.sampler, sim.config.domain, start_y=3.0
+        )
+        assert deflection == pytest.approx(30.0, abs=3.5)
+
+    def test_high_streamline_stays_undisturbed_longer(self, wedge_run):
+        # A streamline starting high crosses the shock late (or not at
+        # all inside the domain): its mean angle stays small.
+        sim = wedge_run
+        line = trace_streamline(sim.sampler, sim.config.domain, (2.0, 26.0))
+        assert np.abs(line.flow_angles_deg()).mean() < 8.0
+
+    def test_expansion_turns_flow_back(self, wedge_run):
+        # Past the corner the streamline's angle falls back toward (and
+        # below) horizontal.
+        sim = wedge_run
+        line = trace_streamline(sim.sampler, sim.config.domain, (2.0, 3.0))
+        angles = line.flow_angles_deg()
+        # Smooth and look at the tail (downstream of the corner).
+        k = np.ones(8) / 8
+        sm = np.convolve(angles, k, mode="valid")
+        assert sm[-1] < sm.max() - 10.0

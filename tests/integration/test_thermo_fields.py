@@ -1,0 +1,99 @@
+"""Thermodynamic-field validation: temperature and Mach structure."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import thermo
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.errors import ConfigurationError
+from repro.geometry.domain import Domain
+from repro.geometry.wedge import Wedge
+from repro.physics import theory
+from repro.physics.freestream import Freestream
+from repro.physics.molecules import MolecularModel
+
+
+@pytest.fixture(scope="module")
+def wedge_run():
+    cfg = SimulationConfig(
+        domain=Domain(49, 32),
+        freestream=Freestream(mach=4.0, c_mp=0.14, lambda_mfp=0.0, density=14.0),
+        wedge=Wedge(x_leading=10.0, base=12.5, angle_deg=30.0),
+        seed=5,
+    )
+    sim = Simulation(cfg)
+    sim.run(220)
+    sim.run(220, sample=True)
+    return sim
+
+
+class TestFreestreamThermo:
+    def test_freestream_temperature_unity(self, wedge_run):
+        t = thermo.temperature_ratio_field(
+            wedge_run.sampler, wedge_run.config.freestream
+        )
+        # Far field above the shock: T/T_inf ~ 1.
+        assert t[5:12, 24:30].mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_freestream_mach_recovered(self, wedge_run):
+        m = thermo.mach_field(wedge_run.sampler, wedge_run.config.freestream)
+        assert m[5:12, 24:30].mean() == pytest.approx(4.0, rel=0.05)
+
+
+class TestShockLayerThermo:
+    def test_temperature_jump_matches_rankine_hugoniot(self, wedge_run):
+        beta = theory.shock_angle(4.0, math.radians(30.0))
+        mn = 4.0 * math.sin(beta)
+        expected = theory.normal_shock_temperature_ratio(mn)
+        measured = thermo.shock_layer_temperature_ratio(
+            wedge_run.sampler, wedge_run.config.freestream,
+            wedge_run.config.wedge,
+        )
+        assert measured == pytest.approx(expected, rel=0.12)
+
+    def test_post_shock_mach_subsonic_normal(self, wedge_run):
+        # Downstream Mach (flow frame) behind the oblique shock ~ 1.7.
+        m = thermo.mach_field(wedge_run.sampler, wedge_run.config.freestream)
+        expected = theory.post_oblique_shock_mach(4.0, math.radians(30.0))
+        # Sample mid shock layer.
+        layer = m[16:20, 5:8]
+        assert layer.mean() == pytest.approx(expected, rel=0.15)
+
+    def test_rotation_equilibrated_in_layer(self, wedge_run):
+        r = thermo.rotational_nonequilibrium_field(wedge_run.sampler)
+        # Near-continuum: rotation keeps up with translation everywhere
+        # the statistics are meaningful.
+        layer = r[16:20, 5:8]
+        assert layer.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_empty_layer_rejected(self, wedge_run):
+        # A wedge too short to offer any interior columns.
+        with pytest.raises(ConfigurationError):
+            thermo.shock_layer_temperature_ratio(
+                wedge_run.sampler,
+                wedge_run.config.freestream,
+                Wedge(x_leading=10.0, base=5.0, angle_deg=30.0),
+            )
+
+
+class TestRotationalLag:
+    def test_slow_exchange_lags_in_shock(self):
+        # With a small internal-exchange probability the shock layer
+        # shows rotational temperature lag (T_rot < T_tr).
+        cfg = SimulationConfig(
+            domain=Domain(40, 26),
+            freestream=Freestream(
+                mach=4.0, c_mp=0.14, lambda_mfp=0.0, density=12.0
+            ),
+            wedge=Wedge(x_leading=8.0, base=10.0, angle_deg=30.0),
+            model=MolecularModel(internal_exchange_probability=0.05),
+            seed=6,
+        )
+        sim = Simulation(cfg)
+        sim.run(150)
+        sim.run(150, sample=True)
+        r = thermo.rotational_nonequilibrium_field(sim.sampler)
+        layer = r[13:17, 4:7]
+        assert layer.mean() < 0.9  # rotation visibly lags

@@ -1,0 +1,102 @@
+"""Property-based tests of the collision algorithm's invariants.
+
+The conservation laws (eq. (18) and momentum) must hold for *arbitrary*
+particle states, not just thermal ones -- exactly what hypothesis is
+for.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.collision import collide_pairs
+from repro.core.particles import ParticleArrays
+from repro.core.permutation import initialize_permutations
+
+finite = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def velocity_arrays(n_pairs):
+    shape = (2 * n_pairs,)
+    return arrays(np.float64, shape, elements=finite)
+
+
+@st.composite
+def pair_populations(draw, max_pairs=16):
+    n_pairs = draw(st.integers(min_value=1, max_value=max_pairs))
+    n = 2 * n_pairs
+    rng_seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    u = draw(velocity_arrays(n_pairs))
+    v = draw(velocity_arrays(n_pairs))
+    w = draw(velocity_arrays(n_pairs))
+    r1 = draw(velocity_arrays(n_pairs))
+    r2 = draw(velocity_arrays(n_pairs))
+    rng = np.random.default_rng(rng_seed)
+    pop = ParticleArrays(
+        x=np.zeros(n),
+        y=np.zeros(n),
+        u=u.copy(),
+        v=v.copy(),
+        w=w.copy(),
+        rot=np.column_stack((r1, r2)),
+        perm=initialize_permutations(rng, n),
+        cell=np.zeros(n, dtype=np.int64),
+    )
+    first = np.arange(0, n, 2)
+    second = first + 1
+    return pop, first, second, rng
+
+
+class TestConservationProperties:
+    @given(pair_populations())
+    @settings(max_examples=60, deadline=None)
+    def test_energy_conserved(self, data):
+        pop, first, second, rng = data
+        e0 = pop.total_energy()
+        collide_pairs(pop, first, second, rng=rng)
+        e1 = pop.total_energy()
+        assert np.isclose(e1, e0, rtol=1e-10, atol=1e-12)
+
+    @given(pair_populations())
+    @settings(max_examples=60, deadline=None)
+    def test_momentum_conserved(self, data):
+        pop, first, second, rng = data
+        p0 = pop.momentum()
+        collide_pairs(pop, first, second, rng=rng)
+        assert np.allclose(pop.momentum(), p0, rtol=1e-10, atol=1e-10)
+
+    @given(pair_populations())
+    @settings(max_examples=60, deadline=None)
+    def test_rotational_mean_preserved(self, data):
+        # Eqs. (16)-(17): the pair's rotational mean passes through.
+        pop, first, second, rng = data
+        s0 = pop.rot[first] + pop.rot[second]
+        collide_pairs(pop, first, second, rng=rng)
+        s1 = pop.rot[first] + pop.rot[second]
+        assert np.allclose(s1, s0, rtol=1e-10, atol=1e-10)
+
+    @given(pair_populations())
+    @settings(max_examples=60, deadline=None)
+    def test_permutations_stay_valid(self, data):
+        pop, first, second, rng = data
+        collide_pairs(pop, first, second, rng=rng)
+        pop.validate()
+
+    @given(pair_populations())
+    @settings(max_examples=40, deadline=None)
+    def test_relative_norm_preserved_eq18(self, data):
+        # The five-element half-relative vector's norm is invariant.
+        pop, first, second, rng = data
+        def relative_norms():
+            h = np.empty((first.size, 5))
+            h[:, 0] = 0.5 * (pop.u[first] - pop.u[second])
+            h[:, 1] = 0.5 * (pop.v[first] - pop.v[second])
+            h[:, 2] = 0.5 * (pop.w[first] - pop.w[second])
+            h[:, 3:] = 0.5 * (pop.rot[first] - pop.rot[second])
+            return (h**2).sum(axis=1)
+        n0 = relative_norms()
+        collide_pairs(pop, first, second, rng=rng)
+        assert np.allclose(relative_norms(), n0, rtol=1e-10, atol=1e-12)

@@ -1,0 +1,75 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Dagum" in out
+        assert "7.2" in out
+
+    def test_timing_model(self, capsys):
+        assert main(["timing", "--processors", "1024"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.strip() and l.strip()[0].isdigit()]
+        assert len(lines) == 5
+        # Monotone decline of us/particle down the VPR column.
+        times = [float(l.split()[-1]) for l in lines]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_heatbath_small(self, capsys):
+        assert main([
+            "heatbath", "--particles", "2000", "--cells", "20",
+            "--steps", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mcdonald-baganoff" in out
+        assert "bird-time-counter" in out
+        assert "nanbu-ploss" in out
+
+    def test_wedge_small(self, capsys, tmp_path):
+        save = tmp_path / "field.npz"
+        code = main([
+            "wedge", "--nx", "49", "--ny", "32", "--density", "10",
+            "--transient", "180", "--average", "180",
+            "--save", str(save),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shock angle" in out
+        assert save.exists()
+        rho = np.load(save)["density_ratio"]
+        assert rho.shape == (49, 32)
+
+    def test_wedge_vtk_export(self, capsys, tmp_path):
+        vtk = tmp_path / "field.vtk"
+        code = main([
+            "wedge", "--nx", "40", "--ny", "26", "--density", "6",
+            "--transient", "40", "--average", "40",
+            "--vtk", str(vtk),
+        ])
+        assert code == 0
+        text = vtk.read_text()
+        assert "STRUCTURED_POINTS" in text
+        assert "SCALARS density_ratio" in text
+        assert "SCALARS mach" in text
+
+    def test_wedge_unconverged_degrades_gracefully(self, capsys):
+        code = main([
+            "wedge", "--nx", "30", "--ny", "20", "--density", "2",
+            "--transient", "3", "--average", "3",
+        ])
+        assert code == 0  # prints a diagnostic instead of crashing
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["fly"])

@@ -1,0 +1,131 @@
+"""Unit tests for the NEWS grid and the cell-mapped motion model."""
+
+import numpy as np
+import pytest
+
+from repro.cm.cellmapped import cell_mapped_motion_step
+from repro.cm.news import (
+    NEIGHBOUR_OFFSETS,
+    news_shift,
+    serialized_neighbour_exchange,
+)
+from repro.cm.timing import CostLedger
+from repro.core.particles import ParticleArrays
+from repro.errors import MachineError
+from repro.geometry.domain import Domain
+from repro.physics.freestream import Freestream
+
+
+class TestNewsShift:
+    def test_cardinal_shift(self):
+        g = np.arange(6).reshape(3, 2)
+        out = news_shift(g, 1, 0, fill=-1)
+        assert out[0].tolist() == [-1, -1]
+        assert out[1].tolist() == [0, 1]
+
+    def test_negative_shift(self):
+        g = np.arange(6).reshape(3, 2)
+        out = news_shift(g, -1, 0, fill=-1)
+        assert out[2].tolist() == [-1, -1]
+        assert out[0].tolist() == [2, 3]
+
+    def test_diagonal_costs_two_hops(self):
+        ledger1, ledger2 = CostLedger(), CostLedger()
+        g = np.ones((4, 4))
+        news_shift(g, 1, 0, ledger=ledger1)
+        news_shift(g, 1, 1, ledger=ledger2)
+        assert ledger2.total() == pytest.approx(2 * ledger1.total())
+
+    def test_shift_validation(self):
+        with pytest.raises(MachineError):
+            news_shift(np.ones(4), 1, 0)
+        with pytest.raises(MachineError):
+            news_shift(np.ones((3, 3)), 2, 0)
+
+    def test_roundtrip_interior(self):
+        g = np.arange(25).reshape(5, 5)
+        back = news_shift(news_shift(g, 1, 0), -1, 0)
+        assert np.array_equal(back[1:4], g[1:4])
+
+
+class TestSerializedExchange:
+    def test_particles_arrive_at_neighbours(self):
+        counts = np.zeros((4, 4), dtype=np.int64)
+        counts[1, 1] = 3
+        incoming, stats = serialized_neighbour_exchange({(1, 0): counts})
+        assert incoming[2, 1] == 3
+        assert incoming.sum() == 3
+
+    def test_conservation_with_interior_sources(self, rng):
+        # Interior senders: everything sent arrives somewhere.
+        outgoing = {}
+        total = 0
+        for off in NEIGHBOUR_OFFSETS[:4]:
+            grid = np.zeros((6, 6), dtype=np.int64)
+            grid[2:4, 2:4] = rng.integers(0, 5, size=(2, 2))
+            outgoing[off] = grid
+            total += int(grid.sum())
+        incoming, _ = serialized_neighbour_exchange(outgoing)
+        assert incoming.sum() == total
+
+    def test_simd_pacing_cost(self):
+        # One busy cell paces the whole event.
+        sparse = np.zeros((8, 8), dtype=np.int64)
+        sparse[0, 0] = 10
+        dense = np.full((8, 8), 10, dtype=np.int64)
+        _, s_sparse = serialized_neighbour_exchange({(1, 0): sparse})
+        _, s_dense = serialized_neighbour_exchange({(1, 0): dense})
+        assert s_sparse["total_cost"] == s_dense["total_cost"]
+        assert s_sparse["mean_event_utilization"] < s_dense["mean_event_utilization"]
+
+    def test_bad_offset_rejected(self):
+        with pytest.raises(MachineError):
+            serialized_neighbour_exchange({(2, 0): np.zeros((3, 3))})
+
+
+class TestCellMappedStep:
+    @pytest.fixture
+    def snapshot(self, rng):
+        fs = Freestream(mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=8.0)
+        d = Domain(20, 12)
+        pop = ParticleArrays.from_freestream(
+            rng, 2000, fs, (0, d.width), (0, d.height)
+        )
+        return pop, d
+
+    def test_report_fields_sane(self, snapshot):
+        pop, d = snapshot
+        rep = cell_mapped_motion_step(pop, d)
+        assert 0.0 < rep.migration_fraction < 1.0
+        assert rep.exchange_cost > 0
+        assert rep.compute_cost > 0
+        assert rep.memory_slots_per_processor >= 1
+        assert 0.0 < rep.mean_event_utilization <= 1.0
+
+    def test_cell_mapping_costs_more(self, snapshot):
+        # The paper's conclusion, measured: the cell mapping's motion
+        # step is strictly more expensive than the particle mapping's.
+        pop, d = snapshot
+        rep = cell_mapped_motion_step(pop, d)
+        assert rep.cost_ratio > 1.0
+
+    def test_imbalanced_snapshot_is_much_worse(self, rng):
+        # Pile particles into a few cells (post-shock compression):
+        # pacing and memory penalties explode.
+        fs = Freestream(mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=8.0)
+        d = Domain(20, 12)
+        pop = ParticleArrays.from_freestream(rng, 2000, fs, (0, 3), (0, 3))
+        rep = cell_mapped_motion_step(pop, d)
+        uniform = ParticleArrays.from_freestream(
+            rng, 2000, fs, (0, d.width), (0, d.height)
+        )
+        rep_uniform = cell_mapped_motion_step(uniform, d)
+        assert rep.cost_ratio > 3 * rep_uniform.cost_ratio
+        assert (
+            rep.memory_slots_per_processor
+            > 5 * rep_uniform.memory_slots_per_processor
+        )
+
+    def test_empty_snapshot_rejected(self):
+        with pytest.raises(MachineError):
+            cell_mapped_motion_step(ParticleArrays.empty(), Domain(4, 4))

@@ -1,0 +1,132 @@
+"""Unit tests for the scan primitives (plain and segmented)."""
+
+import numpy as np
+import pytest
+
+from repro.cm.machine import CM2
+from repro.cm.scan import (
+    copy_scan,
+    max_scan,
+    min_scan,
+    plus_scan,
+    segment_counts,
+    segmented_copy_scan,
+    segmented_max_scan,
+    segmented_plus_scan,
+)
+from repro.cm.timing import CostLedger, CostModel
+from repro.errors import MachineError
+
+
+class TestPlainScans:
+    def test_plus_scan_inclusive(self):
+        v = np.array([1, 2, 3, 4])
+        assert plus_scan(v).tolist() == [1, 3, 6, 10]
+
+    def test_plus_scan_exclusive(self):
+        v = np.array([1, 2, 3, 4])
+        assert plus_scan(v, inclusive=False).tolist() == [0, 1, 3, 6]
+
+    def test_max_scan(self):
+        v = np.array([3, 1, 4, 1, 5])
+        assert max_scan(v).tolist() == [3, 3, 4, 4, 5]
+
+    def test_min_scan(self):
+        v = np.array([3, 1, 4, 1, 5])
+        assert min_scan(v).tolist() == [3, 1, 1, 1, 1]
+
+    def test_copy_scan(self):
+        assert copy_scan(np.array([7, 1, 2])).tolist() == [7, 7, 7]
+
+    def test_empty_input(self):
+        assert plus_scan(np.array([], dtype=np.int64)).size == 0
+
+    def test_scan_charges_cost(self):
+        geom = CM2(n_processors=4).geometry(8)
+        ledger = CostLedger()
+        cost = CostModel(geom, ledger)
+        with ledger.phase("selection"):
+            plus_scan(np.arange(8), cost=cost)
+        assert ledger.phase_total("selection") > 0
+
+
+class TestSegmentedScans:
+    def test_segmented_plus(self):
+        v = np.array([1, 1, 1, 1, 1, 1])
+        heads = np.array([1, 0, 0, 1, 0, 0], dtype=bool)
+        assert segmented_plus_scan(v, heads).tolist() == [1, 2, 3, 1, 2, 3]
+
+    def test_segmented_plus_exclusive(self):
+        v = np.array([1, 2, 3, 4])
+        heads = np.array([1, 0, 1, 0], dtype=bool)
+        assert segmented_plus_scan(v, heads, inclusive=False).tolist() == [
+            0,
+            1,
+            0,
+            3,
+        ]
+
+    def test_segmented_plus_matches_per_segment_cumsum(self, rng):
+        v = rng.integers(-5, 6, size=200)
+        heads = np.zeros(200, dtype=bool)
+        heads[0] = True
+        heads[rng.choice(np.arange(1, 200), size=20, replace=False)] = True
+        got = segmented_plus_scan(v, heads)
+        # Reference: loop per segment.
+        expected = np.empty_like(v)
+        seg_start = 0
+        for i in range(200):
+            if heads[i]:
+                seg_start = i
+            expected[i] = v[seg_start : i + 1].sum()
+        assert np.array_equal(got, expected)
+
+    def test_segmented_copy(self):
+        v = np.array([9, 1, 2, 7, 3])
+        heads = np.array([1, 0, 0, 1, 0], dtype=bool)
+        assert segmented_copy_scan(v, heads).tolist() == [9, 9, 9, 7, 7]
+
+    def test_segmented_max_integer(self):
+        v = np.array([1, 5, 2, 7, 3, 9])
+        heads = np.array([1, 0, 0, 1, 0, 0], dtype=bool)
+        assert segmented_max_scan(v, heads).tolist() == [1, 5, 5, 7, 7, 9]
+
+    def test_segmented_max_float(self):
+        v = np.array([1.5, 0.5, 2.5, -1.0])
+        heads = np.array([1, 0, 1, 0], dtype=bool)
+        out = segmented_max_scan(v, heads)
+        assert out.tolist() == [1.5, 1.5, 2.5, 2.5]
+
+    def test_first_head_required(self):
+        v = np.array([1, 2])
+        heads = np.array([0, 1], dtype=bool)
+        with pytest.raises(MachineError):
+            segmented_plus_scan(v, heads)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(MachineError):
+            segmented_plus_scan(np.arange(3), np.array([True, False]))
+
+
+class TestSegmentCounts:
+    def test_counts_broadcast_to_members(self):
+        heads = np.array([1, 0, 0, 1, 1, 0], dtype=bool)
+        assert segment_counts(heads).tolist() == [3, 3, 3, 1, 2, 2]
+
+    def test_single_segment(self):
+        heads = np.array([1, 0, 0, 0], dtype=bool)
+        assert segment_counts(heads).tolist() == [4, 4, 4, 4]
+
+    def test_empty(self):
+        assert segment_counts(np.array([], dtype=bool)).size == 0
+
+    def test_cell_density_usage(self, rng):
+        # The paper's use: particles sorted by cell; the per-particle
+        # count equals its cell's population.
+        cells = np.sort(rng.integers(0, 10, size=100))
+        heads = np.empty(100, dtype=bool)
+        heads[0] = True
+        heads[1:] = cells[1:] != cells[:-1]
+        counts = segment_counts(heads)
+        pops = np.bincount(cells, minlength=10)
+        assert np.array_equal(counts, pops[cells])

@@ -1,0 +1,89 @@
+"""Unit tests for the Version-5.0-style extended scan set."""
+
+import numpy as np
+import pytest
+
+from repro.cm.machine import CM2
+from repro.cm.scan import (
+    enumerate_active,
+    pack,
+    segmented_and_scan,
+    segmented_min_scan,
+    segmented_or_scan,
+    unpack,
+)
+from repro.cm.timing import CostLedger, CostModel
+from repro.errors import MachineError
+
+
+class TestSegmentedMinOrAnd:
+    def test_min_scan(self):
+        v = np.array([3, 1, 4, 7, 5, 2])
+        heads = np.array([1, 0, 0, 1, 0, 0], dtype=bool)
+        assert segmented_min_scan(v, heads).tolist() == [3, 1, 1, 7, 5, 2]
+
+    def test_min_scan_float(self):
+        v = np.array([1.5, -0.5, 2.0])
+        heads = np.array([1, 0, 1], dtype=bool)
+        out = segmented_min_scan(v, heads)
+        assert out.tolist() == [1.5, -0.5, 2.0]
+
+    def test_or_scan(self):
+        f = np.array([0, 1, 0, 0, 0, 1], dtype=bool)
+        heads = np.array([1, 0, 0, 1, 0, 0], dtype=bool)
+        assert segmented_or_scan(f, heads).tolist() == [
+            False, True, True, False, False, True,
+        ]
+
+    def test_and_scan(self):
+        f = np.array([1, 1, 0, 1, 1, 1], dtype=bool)
+        heads = np.array([1, 0, 0, 1, 0, 0], dtype=bool)
+        assert segmented_and_scan(f, heads).tolist() == [
+            True, True, False, True, True, True,
+        ]
+
+    def test_empty(self):
+        e = np.array([], dtype=np.int64)
+        he = np.array([], dtype=bool)
+        assert segmented_min_scan(e, he).size == 0
+        assert segmented_or_scan(e, he).size == 0
+
+
+class TestEnumeratePackUnpack:
+    def test_enumerate(self):
+        a = np.array([0, 1, 1, 0, 1], dtype=bool)
+        assert enumerate_active(a).tolist() == [-1, 0, 1, -1, 2]
+
+    def test_pack_compresses(self):
+        v = np.array([10, 20, 30, 40])
+        a = np.array([1, 0, 1, 0], dtype=bool)
+        assert pack(v, a).tolist() == [10, 30]
+
+    def test_unpack_roundtrip(self, rng):
+        v = rng.integers(0, 100, size=64)
+        a = rng.random(64) < 0.4
+        packed = pack(v, a)
+        back = unpack(packed, a, fill=-1)
+        assert np.array_equal(back[a], v[a])
+        assert np.all(back[~a] == -1)
+
+    def test_pack_shape_checked(self):
+        with pytest.raises(MachineError):
+            pack(np.arange(4), np.array([True, False]))
+
+    def test_unpack_shape_checked(self):
+        with pytest.raises(MachineError):
+            unpack(np.arange(3), np.array([True, False]), fill=0)
+
+    def test_costs_charged(self):
+        geom = CM2(n_processors=4).geometry(16)
+        ledger = CostLedger()
+        cost = CostModel(geom, ledger)
+        with ledger.phase("selection"):
+            a = np.arange(16) % 2 == 0
+            packed = pack(np.arange(16), a, cost=cost)
+            unpack(packed, a, fill=0, cost=cost)
+        assert ledger.phase_total("selection") > 0
+
+    def test_pack_all_inactive(self):
+        assert pack(np.arange(4), np.zeros(4, dtype=bool)).size == 0

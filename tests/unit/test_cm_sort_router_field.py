@@ -1,0 +1,149 @@
+"""Unit tests for the CM sort, router and field primitives."""
+
+import numpy as np
+import pytest
+
+from repro.cm.field import Field
+from repro.cm.machine import CM2
+from repro.cm.router import gather, permute, permute_many
+from repro.cm.sort import apply_order, sort_by_key
+from repro.cm.timing import CostLedger, CostModel
+from repro.errors import MachineError
+
+
+@pytest.fixture
+def geom():
+    return CM2(n_processors=4).geometry(16)
+
+
+@pytest.fixture
+def costed(geom):
+    ledger = CostLedger()
+    return geom, ledger, CostModel(geom, ledger)
+
+
+class TestSort:
+    def test_sorted_order(self, rng):
+        keys = rng.integers(0, 50, size=200)
+        res = sort_by_key(keys, key_bits=8)
+        assert np.all(np.diff(keys[res.order]) >= 0)
+
+    def test_stability(self):
+        keys = np.array([2, 1, 2, 1])
+        res = sort_by_key(keys, key_bits=2)
+        # Equal keys keep original relative order.
+        assert res.order.tolist() == [1, 3, 0, 2]
+
+    def test_rank_is_inverse_of_order(self, rng):
+        keys = rng.integers(0, 9, size=64)
+        res = sort_by_key(keys, key_bits=4)
+        assert np.array_equal(res.order[res.rank], np.arange(64))
+
+    def test_offchip_measured(self, geom):
+        # Reversing keys forces nearly everything across processors.
+        keys = np.arange(16)[::-1].copy()
+        res = sort_by_key(keys, geometry=geom, key_bits=5)
+        assert res.offchip_fraction > 0.5
+
+    def test_key_width_validated(self):
+        with pytest.raises(MachineError):
+            sort_by_key(np.array([300]), key_bits=8)
+
+    def test_negative_keys_rejected(self):
+        with pytest.raises(MachineError):
+            sort_by_key(np.array([-1]), key_bits=8)
+
+    def test_cost_charged_under_phase(self, costed):
+        geom, ledger, cost = costed
+        with ledger.phase("sort"):
+            sort_by_key(np.arange(16)[::-1].copy(), cost=cost, key_bits=5)
+        assert ledger.phase_total("sort") > 0
+        assert ledger.category_total("route_off") > 0
+
+    def test_apply_order(self):
+        order = np.array([2, 0, 1])
+        a, b = apply_order(order, np.array([10, 20, 30]), np.array([1, 2, 3]))
+        assert a.tolist() == [30, 10, 20]
+        assert b.tolist() == [3, 1, 2]
+
+
+class TestRouter:
+    def test_permute_roundtrip(self, rng):
+        v = rng.random(16)
+        dst = rng.permutation(16)
+        out = permute(v, dst)
+        assert np.allclose(out[dst], v)
+
+    def test_permute_collision_rejected(self):
+        with pytest.raises(MachineError):
+            permute(np.arange(4), np.array([0, 0, 1, 2]))
+
+    def test_permute_out_of_range(self):
+        with pytest.raises(MachineError):
+            permute(np.arange(4), np.array([0, 1, 2, 4]))
+
+    def test_permute_many_consistency(self, geom, rng):
+        cols = [rng.random(16), rng.integers(0, 9, size=16)]
+        dst = rng.permutation(16)
+        outs = permute_many(cols, dst, geom)
+        for c, o in zip(cols, outs):
+            assert np.array_equal(o[dst], c)
+
+    def test_permute_many_length_mismatch(self, geom):
+        with pytest.raises(MachineError):
+            permute_many([np.arange(4), np.arange(5)], np.arange(4), geom)
+
+    def test_gather_allows_duplicates(self):
+        v = np.array([10.0, 20.0, 30.0])
+        out = gather(v, np.array([0, 0, 2]))
+        assert out.tolist() == [10.0, 10.0, 30.0]
+
+    def test_gather_charges_double_payload(self, costed):
+        geom, ledger, cost = costed
+        with ledger.phase("collision"):
+            gather(np.arange(16), np.arange(16)[::-1].copy(), cost=cost)
+        one_way = ledger.phase_total("collision")
+        ledger2 = CostLedger()
+        cost2 = CostModel(geom, ledger2)
+        with ledger2.phase("collision"):
+            permute(np.arange(16), np.arange(16)[::-1].copy(), cost=cost2)
+        assert one_way > ledger2.phase_total("collision")
+
+
+class TestField:
+    def test_arithmetic_and_cost(self, costed):
+        geom, ledger, cost = costed
+        a = Field(np.arange(16, dtype=np.int32), geom, cost)
+        b = Field(np.ones(16, dtype=np.int32), geom, cost)
+        with ledger.phase("motion"):
+            c = a + b * 2
+        assert c.data[3] == 5
+        assert ledger.phase_total("motion") > 0
+
+    def test_merge_semantics(self, geom):
+        a = Field(np.zeros(16, dtype=np.int32), geom)
+        out = a.merge(np.arange(16), np.arange(16) % 2 == 0)
+        assert out.data[2] == 2 and out.data[3] == 0
+
+    def test_shape_validation(self, geom):
+        with pytest.raises(MachineError):
+            Field(np.zeros(5, dtype=np.int32), geom)
+        with pytest.raises(MachineError):
+            Field(np.zeros((4, 4), dtype=np.int32), geom)
+
+    def test_global_reductions(self, geom):
+        f = Field(np.arange(16, dtype=np.int32), geom)
+        assert f.global_sum() == 120
+        assert f.global_max() == 15
+        assert f.global_or() is True
+        assert Field.zeros(geom).global_or() is False
+
+    def test_comparisons_and_bitops(self, geom):
+        f = Field(np.arange(16, dtype=np.int32), geom)
+        assert (f < 8).data.sum() == 8
+        assert ((f & 1).data == np.arange(16) % 2).all()
+        assert ((f >> 1).data == np.arange(16) // 2).all()
+
+    def test_from_scalar_and_len(self, geom):
+        f = Field.from_scalar(7, geom)
+        assert len(f) == 16 and int(f.data[0]) == 7

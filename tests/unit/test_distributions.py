@@ -1,0 +1,108 @@
+"""Unit tests for velocity distribution sampling and diagnostics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.distributions import (
+    component_variance,
+    energy_shares,
+    excess_kurtosis,
+    sample_maxwellian,
+    sample_rectangular,
+    sigma_from_cmp,
+    speed_distribution_chi2,
+    temperature_from_velocities,
+)
+
+
+class TestSamplers:
+    def test_maxwellian_variance(self, rng):
+        c_mp = 0.2
+        v = sample_maxwellian(rng, 200_000, c_mp)
+        assert v.shape == (200_000, 3)
+        assert np.allclose(v.var(axis=0), c_mp**2 / 2, rtol=0.02)
+
+    def test_maxwellian_drift(self, rng):
+        v = sample_maxwellian(rng, 100_000, 0.2, drift=(0.5, -0.1, 0.0))
+        assert v[:, 0].mean() == pytest.approx(0.5, abs=0.005)
+        assert v[:, 1].mean() == pytest.approx(-0.1, abs=0.005)
+
+    def test_rectangular_matches_maxwellian_variance(self, rng):
+        # The reservoir trick's requirement: same variance.
+        c_mp = 0.14
+        g = sample_maxwellian(rng, 200_000, c_mp)
+        r = sample_rectangular(rng, 200_000, c_mp)
+        assert np.allclose(g.var(axis=0), r.var(axis=0), rtol=0.03)
+
+    def test_rectangular_is_bounded(self, rng):
+        c_mp = 0.14
+        r = sample_rectangular(rng, 10_000, c_mp)
+        bound = sigma_from_cmp(c_mp) * math.sqrt(3.0) + 1e-12
+        assert np.abs(r).max() <= bound
+
+    def test_component_count(self, rng):
+        assert sample_maxwellian(rng, 10, 0.1, components=2).shape == (10, 2)
+
+    def test_zero_samples(self, rng):
+        assert sample_maxwellian(rng, 0, 0.1).shape == (0, 3)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample_maxwellian(rng, -1, 0.1)
+        with pytest.raises(ConfigurationError):
+            sigma_from_cmp(0.0)
+
+
+class TestDiagnostics:
+    def test_kurtosis_gaussian_near_zero(self, rng):
+        x = rng.normal(size=(200_000, 1))
+        assert abs(excess_kurtosis(x)[0]) < 0.05
+
+    def test_kurtosis_uniform_near_minus_1_2(self, rng):
+        x = rng.uniform(-1, 1, size=(200_000, 1))
+        assert excess_kurtosis(x)[0] == pytest.approx(-1.2, abs=0.05)
+
+    def test_kurtosis_constant_column(self):
+        assert excess_kurtosis(np.ones((50, 1)))[0] == 0.0
+
+    def test_temperature_recovery(self, rng):
+        c_mp = 0.3
+        v = sample_maxwellian(rng, 300_000, c_mp, drift=(1.0, 0, 0))
+        rt = temperature_from_velocities(v)
+        assert rt == pytest.approx(c_mp**2 / 2, rel=0.02)
+        assert temperature_from_velocities(v, c_mp_reference=True) == pytest.approx(
+            c_mp, rel=0.02
+        )
+
+    def test_energy_shares_equilibrium(self, rng):
+        # Equipartition: 3/5 translational, 2/5 rotational.
+        c_mp = 0.2
+        t = sample_maxwellian(rng, 200_000, c_mp, drift=(0.7, 0, 0))
+        r = sample_maxwellian(rng, 200_000, c_mp, components=2)
+        f_tr, f_rot = energy_shares(t, r)
+        assert f_tr == pytest.approx(0.6, abs=0.01)
+        assert f_rot == pytest.approx(0.4, abs=0.01)
+
+    def test_energy_shares_monatomic(self, rng):
+        t = sample_maxwellian(rng, 1000, 0.2)
+        f_tr, f_rot = energy_shares(t, np.empty((1000, 0)))
+        assert f_tr == 1.0 and f_rot == 0.0
+
+    def test_chi2_accepts_true_maxwellian(self, rng):
+        v = sample_maxwellian(rng, 100_000, 0.2)
+        assert speed_distribution_chi2(v, 0.2) < 3.0
+
+    def test_chi2_rejects_rectangular(self, rng):
+        v = sample_rectangular(rng, 100_000, 0.2)
+        assert speed_distribution_chi2(v, 0.2) > 10.0
+
+    def test_chi2_needs_samples(self, rng):
+        with pytest.raises(ConfigurationError):
+            speed_distribution_chi2(np.zeros((10, 3)), 0.2)
+
+    def test_variance_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            component_variance(np.zeros(5))

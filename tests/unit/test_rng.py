@@ -1,0 +1,88 @@
+"""Unit tests for the random utilities."""
+
+import numpy as np
+import pytest
+
+from repro.rng import (
+    DEFAULT_SEED,
+    make_rng,
+    random_permutation_table,
+    random_signs,
+    random_transposition_pairs,
+    spawn_streams,
+)
+
+
+class TestMakeRng:
+    def test_none_uses_default_seed(self):
+        a = make_rng(None).integers(0, 1 << 30, size=4)
+        b = make_rng(DEFAULT_SEED).integers(0, 1 << 30, size=4)
+        assert np.array_equal(a, b)
+
+    def test_integer_seeds_are_deterministic(self):
+        assert np.array_equal(
+            make_rng(7).random(3), make_rng(7).random(3)
+        )
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+
+class TestSpawnStreams:
+    def test_streams_are_independent_and_deterministic(self):
+        a1, b1 = spawn_streams(9, 2)
+        a2, b2 = spawn_streams(9, 2)
+        assert np.array_equal(a1.random(5), a2.random(5))
+        assert not np.array_equal(a1.random(5), b1.random(5))
+
+    def test_zero_streams(self):
+        assert spawn_streams(1, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_streams(1, -1)
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(2)
+        streams = spawn_streams(g, 3)
+        assert len(streams) == 3
+
+
+class TestRandomSigns:
+    def test_only_plus_minus_one(self, rng):
+        s = random_signs(rng, (1000, 5))
+        assert set(np.unique(s).tolist()) == {-1, 1}
+
+    def test_balanced(self, rng):
+        s = random_signs(rng, 100_000)
+        assert abs(s.mean()) < 0.02
+
+
+class TestPermutationTable:
+    def test_rows_are_permutations(self, rng):
+        t = random_permutation_table(rng, 500, length=5)
+        assert t.shape == (500, 5)
+        sorted_rows = np.sort(t, axis=1)
+        assert np.array_equal(
+            sorted_rows, np.broadcast_to(np.arange(5, dtype=np.int8), (500, 5))
+        )
+
+    def test_uniform_first_element(self, rng):
+        # Each value should appear in position 0 about n/5 times.
+        t = random_permutation_table(rng, 50_000, length=5)
+        counts = np.bincount(t[:, 0], minlength=5)
+        assert np.all(np.abs(counts - 10_000) < 600)
+
+    def test_negative_count_raises(self, rng):
+        with pytest.raises(ValueError):
+            random_permutation_table(rng, -1)
+
+    def test_zero_rows(self, rng):
+        assert random_permutation_table(rng, 0).shape == (0, 5)
+
+
+class TestTranspositionDraws:
+    def test_in_range(self, rng):
+        (j,) = random_transposition_pairs(rng, 1000, length=5)
+        assert j.min() >= 0 and j.max() <= 4

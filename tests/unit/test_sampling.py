@@ -1,0 +1,150 @@
+"""Unit tests for macroscopic sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.cells import assign_cells
+from repro.core.particles import ParticleArrays
+from repro.core.sampling import CellSampler
+from repro.errors import ConfigurationError
+from repro.geometry.domain import Domain
+from repro.geometry.wedge import Wedge
+from repro.physics.freestream import Freestream
+
+
+@pytest.fixture
+def fs():
+    return Freestream(mach=4.0, c_mp=0.2, lambda_mfp=0.5, density=20.0)
+
+
+@pytest.fixture
+def snapshot(rng, fs):
+    d = Domain(10, 8)
+    pop = ParticleArrays.from_freestream(rng, 20 * d.n_cells, fs, (0, 10), (0, 8))
+    assign_cells(pop, d)
+    return d, pop
+
+
+class TestDensity:
+    def test_uniform_density_recovered(self, snapshot):
+        d, pop = snapshot
+        s = CellSampler(d)
+        s.accumulate(pop)
+        dens = s.number_density()
+        assert dens.shape == d.shape
+        assert dens.mean() == pytest.approx(20.0, rel=0.01)
+
+    def test_time_average_reduces_noise(self, rng, fs):
+        d = Domain(10, 8)
+        s1 = CellSampler(d)
+        s50 = CellSampler(d)
+        for i in range(50):
+            pop = ParticleArrays.from_freestream(
+                rng, 10 * d.n_cells, fs, (0, 10), (0, 8)
+            )
+            assign_cells(pop, d)
+            if i == 0:
+                s1.accumulate(pop)
+            s50.accumulate(pop)
+        assert s50.number_density().std() < s1.number_density().std()
+
+    def test_density_ratio(self, snapshot, fs):
+        d, pop = snapshot
+        s = CellSampler(d)
+        s.accumulate(pop)
+        assert s.density_ratio(fs.density).mean() == pytest.approx(1.0, rel=0.01)
+
+    def test_volume_correction(self, rng, fs):
+        # Particles only in the open half of a half-blocked cell should
+        # report the full local density after correction.
+        d = Domain(4, 4)
+        vf = np.ones(d.shape)
+        vf[1, 1] = 0.5
+        s = CellSampler(d, vf)
+        pop = ParticleArrays.from_freestream(rng, 160, fs, (0, 4), (0, 4))
+        assign_cells(pop, d)
+        s.accumulate(pop)
+        raw = s.number_density(correct_volumes=False)
+        corrected = s.number_density(correct_volumes=True)
+        assert corrected[1, 1] == pytest.approx(2.0 * raw[1, 1])
+        assert corrected[0, 0] == raw[0, 0]
+
+    def test_fully_blocked_cell_reports_zero(self, rng, fs):
+        d = Domain(4, 4)
+        vf = np.ones(d.shape)
+        vf[2, 2] = 0.0
+        s = CellSampler(d, vf)
+        pop = ParticleArrays.from_freestream(rng, 50, fs, (0, 4), (0, 4))
+        assign_cells(pop, d)
+        s.accumulate(pop)
+        assert s.number_density()[2, 2] == 0.0
+
+    def test_requires_data(self, snapshot):
+        d, _ = snapshot
+        with pytest.raises(ConfigurationError):
+            CellSampler(d).number_density()
+
+    def test_reset(self, snapshot):
+        d, pop = snapshot
+        s = CellSampler(d)
+        s.accumulate(pop)
+        s.reset()
+        assert s.steps == 0
+        with pytest.raises(ConfigurationError):
+            s.number_density()
+
+    def test_vf_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            CellSampler(Domain(4, 4), np.ones((3, 3)))
+
+
+class TestMoments:
+    def test_mean_velocity_recovers_drift(self, snapshot, fs):
+        d, pop = snapshot
+        s = CellSampler(d)
+        s.accumulate(pop)
+        u, v, w = s.mean_velocity()
+        assert u.mean() == pytest.approx(fs.speed, abs=0.01)
+        assert abs(v.mean()) < 0.01
+
+    def test_translational_temperature(self, snapshot, fs):
+        d, pop = snapshot
+        s = CellSampler(d)
+        s.accumulate(pop)
+        rt = s.translational_temperature()
+        assert rt.mean() == pytest.approx(fs.rt, rel=0.05)
+
+    def test_rotational_temperature(self, snapshot, fs):
+        d, pop = snapshot
+        s = CellSampler(d)
+        s.accumulate(pop)
+        rt = s.rotational_temperature(rotational_dof=2)
+        assert rt.mean() == pytest.approx(fs.rt, rel=0.05)
+
+    def test_empty_cells_report_zero_velocity(self, rng, fs):
+        d = Domain(4, 4)
+        pop = ParticleArrays.from_freestream(rng, 10, fs, (0, 1), (0, 1))
+        assign_cells(pop, d)
+        s = CellSampler(d)
+        s.accumulate(pop)
+        u, _, _ = s.mean_velocity()
+        assert u[3, 3] == 0.0
+
+    def test_mean_particles_per_cell(self, snapshot):
+        d, pop = snapshot
+        s = CellSampler(d)
+        s.accumulate(pop)
+        assert s.mean_particles_per_cell() == pytest.approx(20.0, rel=0.01)
+
+    def test_wedge_volume_fractions_integration(self, rng, fs):
+        d = Domain(30, 20)
+        w = Wedge(x_leading=8, base=10, angle_deg=30)
+        vf = w.open_volume_fractions(d)
+        s = CellSampler(d, vf)
+        pop = ParticleArrays.from_freestream(rng, 5000, fs, (0, 30), (0, 20))
+        keep = ~w.inside(pop.x, pop.y)
+        pop = pop.select(keep)
+        assign_cells(pop, d)
+        s.accumulate(pop)
+        dens = s.number_density()
+        assert np.isfinite(dens).all()

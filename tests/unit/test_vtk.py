@@ -1,0 +1,67 @@
+"""Unit tests for the legacy-VTK field writer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.io.vtk import read_vtk_scalars, write_vtk_fields
+
+
+class TestWriter:
+    def test_roundtrip_2d(self, tmp_path, rng):
+        rho = rng.random((6, 4))
+        path = tmp_path / "f.vtk"
+        write_vtk_fields(path, density=rho)
+        back = read_vtk_scalars(path)
+        assert back["_dimensions"] == (7, 5, 2)
+        # VTK order: x fastest.
+        assert np.allclose(back["density"], rho.T.reshape(-1), atol=1e-5)
+
+    def test_roundtrip_3d(self, tmp_path, rng):
+        f = rng.random((3, 4, 2))
+        path = tmp_path / "g.vtk"
+        write_vtk_fields(path, t=f)
+        back = read_vtk_scalars(path)
+        assert back["_dimensions"] == (4, 5, 3)
+        assert np.allclose(
+            back["t"], np.transpose(f, (2, 1, 0)).reshape(-1), atol=1e-5
+        )
+
+    def test_multiple_fields(self, tmp_path, rng):
+        a = rng.random((5, 5))
+        b = rng.random((5, 5))
+        path = tmp_path / "m.vtk"
+        write_vtk_fields(path, density=a, mach_number=b)
+        back = read_vtk_scalars(path)
+        assert set(back) == {"density", "mach_number", "_dimensions"}
+        assert back["density"].size == 25
+
+    def test_header_is_valid_legacy_vtk(self, tmp_path):
+        path = tmp_path / "h.vtk"
+        write_vtk_fields(path, rho=np.ones((2, 2)))
+        text = path.read_text().splitlines()
+        assert text[0].startswith("# vtk DataFile")
+        assert "ASCII" in text
+        assert "DATASET STRUCTURED_POINTS" in text
+        assert any(line.startswith("CELL_DATA 4") for line in text)
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_vtk_fields(tmp_path / "x.vtk")
+        with pytest.raises(ConfigurationError):
+            write_vtk_fields(
+                tmp_path / "x.vtk", a=np.ones((2, 2)), b=np.ones((3, 2))
+            )
+        with pytest.raises(ConfigurationError):
+            write_vtk_fields(tmp_path / "x.vtk", **{"bad name": np.ones((2, 2))})
+        with pytest.raises(ConfigurationError):
+            write_vtk_fields(tmp_path / "x.vtk", a=np.ones(5))
+
+    def test_origin_spacing_written(self, tmp_path):
+        path = tmp_path / "o.vtk"
+        write_vtk_fields(
+            path, rho=np.ones((2, 2)), origin=(1, 2, 0), spacing=(0.5, 0.5, 1)
+        )
+        text = path.read_text()
+        assert "ORIGIN 1 2 0" in text
+        assert "SPACING 0.5 0.5 1" in text
