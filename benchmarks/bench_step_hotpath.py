@@ -1,0 +1,113 @@
+"""HOTPATH -- steps/sec of the fused step loop vs the legacy baseline.
+
+Runs the default Mach-4 wedge problem twice from the same seed -- once
+with the scratch-buffer hot path (counting sort, in-place reorders,
+adjacent-pair collisions) and once on the legacy allocation-per-step
+kernels (``Simulation(cfg, hotpath=False)``) -- and reports the
+steps/sec ratio plus the hot path's per-phase wall-clock ledger in the
+paper's motion / sort / selection / collision split.
+
+Standalone: ``PYTHONPATH=src python benchmarks/bench_step_hotpath.py``
+writes ``BENCH_step_hotpath.json`` at the repository root (the
+gitignored ``benchmarks/out/`` is for the figure records).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.geometry.domain import Domain
+from repro.geometry.wedge import Wedge
+from repro.perf import PAPER_PHASES
+from repro.physics.freestream import Freestream
+
+WARMUP_STEPS = 5
+TIMED_STEPS = 30
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def default_config(density: float = 40.0, seed: int = 1989) -> SimulationConfig:
+    """The paper's Mach-4 wedge geometry at the benchmark density."""
+    return SimulationConfig(
+        domain=Domain(98, 64),
+        freestream=Freestream(
+            mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=density
+        ),
+        wedge=Wedge(x_leading=20.0, base=25.0, angle_deg=30.0),
+        seed=seed,
+    )
+
+
+def _timed_run(hotpath: bool, config: SimulationConfig):
+    sim = Simulation(config, hotpath=hotpath)
+    sim.run(WARMUP_STEPS)
+    sim.perf.reset()
+    t0 = time.perf_counter()
+    sim.run(TIMED_STEPS)
+    elapsed = time.perf_counter() - t0
+    return sim, elapsed
+
+
+def run_benchmark(config: SimulationConfig | None = None) -> dict:
+    """Measure both paths and return the comparison record."""
+    config = config or default_config()
+    legacy_sim, legacy_s = _timed_run(False, config)
+    hot_sim, hot_s = _timed_run(True, config)
+
+    n = hot_sim.particles.n
+    per_step = hot_sim.perf.per_step_seconds()
+    result = {
+        "bench": "step_hotpath",
+        "config": {
+            "domain": [config.domain.nx, config.domain.ny],
+            "mach": config.freestream.mach,
+            "density": config.freestream.density,
+            "lambda_mfp": config.freestream.lambda_mfp,
+            "seed": config.seed,
+        },
+        "n_particles": n,
+        "timed_steps": TIMED_STEPS,
+        "legacy": {
+            "steps_per_sec": TIMED_STEPS / legacy_s,
+            "us_per_particle_step": legacy_s / TIMED_STEPS / n * 1e6,
+        },
+        "hotpath": {
+            "steps_per_sec": TIMED_STEPS / hot_s,
+            "us_per_particle_step": hot_s / TIMED_STEPS / n * 1e6,
+            "phase_seconds_per_step": per_step,
+            "phase_fractions": hot_sim.perf.fractions(),
+        },
+        "speedup": legacy_s / hot_s,
+        "paper_phases": list(PAPER_PHASES),
+    }
+    return result
+
+
+def main() -> None:
+    result = run_benchmark()
+    out = REPO_ROOT / "BENCH_step_hotpath.json"
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"particles: {result['n_particles']}")
+    print(
+        "legacy  : {:.2f} steps/s".format(result["legacy"]["steps_per_sec"])
+    )
+    print(
+        "hotpath : {:.2f} steps/s".format(result["hotpath"]["steps_per_sec"])
+    )
+    print("speedup : {:.2f}x".format(result["speedup"]))
+    for name, frac in result["hotpath"]["phase_fractions"].items():
+        print(
+            "  {:<10s} {:6.1%}  ({:.2f} ms/step)".format(
+                name,
+                frac,
+                result["hotpath"]["phase_seconds_per_step"][name] * 1e3,
+            )
+        )
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

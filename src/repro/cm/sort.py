@@ -98,7 +98,14 @@ def sort_by_key(
             f"key_bits={key_bits} too narrow for max key {int(k.max())}"
         )
 
-    order = np.argsort(k, kind="stable")
+    # Host-side fast path: a <= 16-bit key takes NumPy's radix/counting
+    # sort (the same histogram + scan structure as the machine's
+    # rank-based radix sort).  Stability makes the order bit-identical
+    # to the wide sort, so results and cost charges are unchanged.
+    if k.size and int(k.max()) <= np.iinfo(np.uint16).max:
+        order = np.argsort(k.astype(np.uint16), kind="stable")
+    else:
+        order = np.argsort(k, kind="stable")
     rank = np.empty_like(order)
     rank[order] = np.arange(order.size)
 

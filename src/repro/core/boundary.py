@@ -176,7 +176,14 @@ class WindTunnelBoundaries:
         Order of enforcement follows the causal order within the step:
         moving-piston reflection, solid-surface reflections (iterated),
         downstream removal, then the plunger advance/withdraw-refill.
+
+        Populations with scratch buffers enabled and specular walls take
+        the subset-based fast path (:meth:`_apply_rebuilding_fast`);
+        results are statistically identical, and the legacy full-array
+        path remains for the other wall models and plain populations.
         """
+        if self.wall_model == "specular" and particles.scratch is not None:
+            return self._apply_rebuilding_fast(particles, reservoir, rng)
         n_walls = 0
         n_wedge = 0
         n_clamped = 0
@@ -253,6 +260,172 @@ class WindTunnelBoundaries:
             n_clamped=n_clamped,
             plunger_reset=reset,
         )
+
+    # -- the scratch-enabled fast path ------------------------------------
+
+    def _apply_rebuilding_fast(
+        self,
+        particles: ParticleArrays,
+        reservoir: Optional[Reservoir],
+        rng: np.random.Generator,
+    ) -> tuple:
+        """Subset-based specular boundary enforcement, in place.
+
+        The legacy path rescans and rewrites full columns on every
+        reflection pass; at steady state only a few percent of the
+        population touches any boundary, so this path scans everyone
+        exactly once (pass 1) and afterwards tracks the *moved* subset:
+        a reflection is the only way to (re)enter a solid, hence passes
+        2+ and the final clamp only need to look at particles moved by
+        the previous pass.  Population rebuilds (downstream removal,
+        plunger refill) reuse the ping-pong buffers instead of
+        allocating a fresh population.
+        """
+        sc = particles.scratch
+        n = particles.n
+        x, y, u, v = particles.x, particles.y, particles.u, particles.v
+        height = self.domain.height
+        n_walls = 0
+        n_wedge = 0
+        n_clamped = 0
+
+        # 1) Upstream plunger face: specular in the moving frame.
+        xp = self.plunger.position
+        mask = sc.array("bnd_mask", n, dtype=bool)
+        np.less(x, xp, out=mask)
+        behind = np.flatnonzero(mask)
+        if behind.size:
+            x[behind] = 2.0 * xp - x[behind]
+            u[behind] = 2.0 * self.plunger.speed - u[behind]
+            n_walls += int(behind.size)
+
+        # 2) Solid surfaces, iterated to a fixed point on the moved set.
+        active: Optional[np.ndarray] = None  # None = scan everyone
+        clean = False
+        for _ in range(MAX_REFLECTION_PASSES):
+            moved = []
+            # Floor and ceiling (specular).
+            if active is None:
+                m2 = sc.array("bnd_mask2", n, dtype=bool)
+                np.less(y, 0.0, out=mask)
+                np.greater(y, height, out=m2)
+                np.logical_or(mask, m2, out=mask)
+                off = np.flatnonzero(mask)
+            else:
+                ys = y[active]
+                off = active[(ys < 0.0) | (ys > height)]
+            if off.size:
+                ys = y[off]
+                below = ys < 0.0
+                ys[below] = -ys[below]
+                above = ys > height
+                ys[above] = 2.0 * height - ys[above]
+                y[off] = ys
+                v[off] = -v[off]
+                n_walls += int(off.size)
+                moved.append(off)
+            # The wedge (specular), on the subset actually inside it.
+            if self.wedge is not None:
+                if active is None:
+                    idx_in = np.flatnonzero(self.wedge.inside(x, y))
+                else:
+                    idx_in = active[self.wedge.inside(x[active], y[active])]
+                if idx_in.size:
+                    x0 = x[idx_in]
+                    y0 = y[idx_in]
+                    u0 = u[idx_in]
+                    v0 = v[idx_in]
+                    x1, y1, u1, v1, back, ramp = (
+                        self.wedge.reflect_specular_report(x0, y0, u0, v0)
+                    )
+                    if self.surface_sampler is not None:
+                        hit = back | ramp
+                        self.surface_sampler.record(
+                            x1[hit], u1[hit] - u0[hit], v1[hit] - v0[hit],
+                            back[hit],
+                        )
+                    x[idx_in] = x1
+                    y[idx_in] = y1
+                    u[idx_in] = u1
+                    v[idx_in] = v1
+                    n_wedge += int(idx_in.size)
+                    moved.append(idx_in)
+            if not moved:
+                clean = True
+                break
+            active = moved[0] if len(moved) == 1 else (
+                np.unique(np.concatenate(moved))
+            )
+        if not clean and active is not None and active.size:
+            n_clamped = self._clamp_subset(particles, active)
+
+        # 3) Soft downstream boundary: remove into the reservoir.
+        np.greater_equal(x, self.domain.width, out=mask)
+        n_removed = int(np.count_nonzero(mask))
+        if n_removed:
+            # Backfill removal: O(exited), and the cell sort right
+            # after this phase re-orders the population anyway.
+            particles.remove_inplace(mask)
+            if reservoir is not None:
+                reservoir.deposit(rng, n_removed)
+
+        # 4) Advance the plunger; withdraw and refill past the trigger.
+        n_injected = 0
+        reset = False
+        self.plunger.position += self.plunger.speed
+        if self.plunger.position >= self.plunger.trigger:
+            xp = self.plunger.position
+            area = xp * self.domain.height * self.span_depth
+            n_new = int(round(self.freestream.density * area))
+            if n_new:
+                if reservoir is not None:
+                    fresh = reservoir.withdraw(rng, n_new)
+                else:
+                    fresh = ParticleArrays.from_freestream(
+                        rng, n_new, self.freestream,
+                        x_range=(0.0, xp),
+                        y_range=(0.0, self.domain.height),
+                        rotational_dof=particles.rotational_dof,
+                        rectangular=True,
+                    )
+                fresh.x = rng.uniform(0.0, xp, size=n_new)
+                fresh.y = rng.uniform(
+                    0.0, self.domain.height, size=n_new
+                )
+                particles.append_inplace(fresh)
+                n_injected = n_new
+            self.plunger.position = 0.0
+            reset = True
+
+        return particles, BoundaryStats(
+            n_reflected_walls=n_walls,
+            n_reflected_wedge=n_wedge,
+            n_removed_downstream=n_removed,
+            n_injected_upstream=n_injected,
+            n_clamped=n_clamped,
+            plunger_reset=reset,
+        )
+
+    def _clamp_subset(
+        self, particles: ParticleArrays, candidates: np.ndarray
+    ) -> int:
+        """Subset variant of :meth:`_clamp_stragglers`."""
+        x, y = particles.x, particles.y
+        xs = x[candidates]
+        ys = y[candidates]
+        bad = (ys < 0.0) | (ys > self.domain.height)
+        if self.wedge is not None:
+            bad |= self.wedge.inside(xs, ys)
+        idx = candidates[bad]
+        if idx.size == 0:
+            return 0
+        y[idx] = np.clip(y[idx], 0.0, self.domain.height)
+        if self.wedge is not None:
+            still = self.wedge.inside(x[idx], y[idx])
+            if np.any(still):
+                sidx = idx[still]
+                y[sidx] = self.wedge.ramp_height_at(x[sidx]) + 1e-9
+        return int(idx.size)
 
     # -- helpers ---------------------------------------------------------
 

@@ -26,8 +26,33 @@ from repro.geometry.domain import Domain
 
 
 def assign_cells(particles: ParticleArrays, domain: Domain) -> None:
-    """Recompute every particle's flattened cell index, in place."""
-    particles.cell = domain.cell_index(particles.x, particles.y)
+    """Recompute every particle's flattened cell index, in place.
+
+    Scratch-enabled populations keep the cell column bound to its
+    ping-pong buffer, so the indices are written through the existing
+    view instead of rebinding the attribute to a fresh array.
+    """
+    if (
+        particles.scratch is not None
+        and particles.cell.shape == particles.x.shape
+    ):
+        # Allocation-free indexing through pooled int64 buffers.  The
+        # unsafe copyto truncates toward zero, which equals floor for
+        # the non-negative coordinates boundary enforcement guarantees
+        # (and stray negatives clip to cell 0 either way, exactly as
+        # floor-then-clip would).
+        n = particles.n
+        sc = particles.scratch
+        i = sc.array("cells_i", n, dtype=np.int64)
+        j = sc.array("cells_j", n, dtype=np.int64)
+        np.copyto(i, particles.x, casting="unsafe")
+        np.copyto(j, particles.y, casting="unsafe")
+        np.clip(i, 0, domain.nx - 1, out=i)
+        np.clip(j, 0, domain.ny - 1, out=j)
+        np.multiply(i, domain.ny, out=particles.cell)
+        particles.cell += j
+    else:
+        particles.cell = domain.cell_index(particles.x, particles.y)
 
 
 def randomized_sort_keys(

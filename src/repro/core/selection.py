@@ -77,11 +77,24 @@ def pair_relative_speed(
     particles: ParticleArrays, pairs: CandidatePairs
 ) -> np.ndarray:
     """Translational relative speed |c1 - c2| of every formed pair."""
-    a, b = pairs.first, pairs.second
-    du = particles.u[a] - particles.u[b]
-    dv = particles.v[a] - particles.v[b]
-    dw = particles.w[a] - particles.w[b]
-    return np.sqrt(du * du + dv * dv + dw * dw)
+    if pairs.adjacent:
+        # Pair i occupies rows (2i, 2i+1): strided views replace the
+        # six scattered gathers of the generic path.
+        m = 2 * pairs.n_pairs
+        du = particles.u[0:m:2] - particles.u[1:m:2]
+        dv = particles.v[0:m:2] - particles.v[1:m:2]
+        dw = particles.w[0:m:2] - particles.w[1:m:2]
+    else:
+        a, b = pairs.first, pairs.second
+        du = particles.u[a] - particles.u[b]
+        dv = particles.v[a] - particles.v[b]
+        dw = particles.w[a] - particles.w[b]
+    du *= du
+    dv *= dv
+    dw *= dw
+    du += dv
+    du += dw
+    return np.sqrt(du, out=du)
 
 
 def collision_probabilities(
@@ -105,40 +118,43 @@ def collision_probabilities(
     Returns ``(probability, relative_speed)`` arrays over pairs.
     """
     n_pairs = pairs.n_pairs
-    prob = np.zeros(n_pairs)
-    g = np.zeros(n_pairs)
     if n_pairs == 0:
-        return prob, g
+        return np.zeros(0), np.zeros(0)
 
+    # Compute over ALL formed pairs, then zero the non-candidates at
+    # the end: full-array arithmetic beats boolean-masked gathers on
+    # every step (candidates are the vast majority after the sort).
     cand = pairs.same_cell
-    a = pairs.first[cand]
-    cells = particles.cell[a]
+    if pairs.adjacent:
+        cells = particles.cell[0 : 2 * n_pairs : 2]
+    else:
+        cells = particles.cell[pairs.first]
 
-    g_all = pair_relative_speed(particles, pairs)
-    g[cand] = g_all[cand]
+    g = pair_relative_speed(particles, pairs)
 
     if freestream.is_near_continuum:
         # The lambda -> 0 validation limit: every candidate collides.
-        prob[cand] = 1.0
-        return prob, g
+        g *= cand
+        return cand.astype(np.float64), g
 
+    # Per-cell density table first (n_cells entries), then one gather
+    # per pair -- not a division per pair.
     counts = np.asarray(cell_counts, dtype=np.float64)
     if volume_fractions is not None:
         vf = np.maximum(np.asarray(volume_fractions, dtype=np.float64),
                         MIN_VOLUME_FRACTION)
-        density = counts[cells] / vf[cells]
+        density_table = counts / vf
     else:
-        density = counts[cells]
-
-    p = (
-        freestream.collision_probability
-        * (density / freestream.density)
-    )
+        density_table = counts
+    prob = np.take(density_table, cells)
+    prob *= freestream.collision_probability / freestream.density
     expo = model.speed_exponent
     if expo != 0.0:
         g_ref = np.sqrt(2.0) * freestream.mean_speed  # mean relative speed
-        p = p * model.speed_factor(g[cand], g_ref)
-    prob[cand] = np.minimum(p, 1.0)
+        prob *= model.speed_factor(g, g_ref)
+    np.minimum(prob, 1.0, out=prob)
+    prob *= cand
+    g *= cand
     return prob, g
 
 

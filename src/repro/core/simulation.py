@@ -22,8 +22,8 @@ import numpy as np
 from repro.constants import DEFAULT_SORT_SCALE
 from repro.core import motion
 from repro.core.boundary import BoundaryStats, WindTunnelBoundaries
-from repro.core.cells import assign_cells, cell_populations
-from repro.core.collision import collide_pairs
+from repro.core.cells import assign_cells
+from repro.core.collision import collide_adjacent_pairs, collide_pairs
 from repro.core.pairing import even_odd_pairs, pairing_efficiency
 from repro.core.particles import ParticleArrays
 from repro.core.reservoir import Reservoir
@@ -32,10 +32,18 @@ from repro.core.selection import select_collisions
 from repro.core.sortstep import sort_by_cell
 from repro.errors import ConfigurationError
 from repro.geometry.domain import Domain
+from repro.perf import PerfLedger
 from repro.geometry.wedge import Wedge
 from repro.physics.freestream import Freestream
 from repro.physics.molecules import MolecularModel, maxwell_molecule
 from repro.rng import SeedLike, make_rng
+
+#: Maximum rejection-sampling passes when seeding around the wedge.
+#: Each pass re-draws only the offending particles (rejection fraction
+#: ~ wedge area / domain area < 1/2 per pass), so 64 passes put the
+#: residual probability below 2**-64 for any legal geometry; a failure
+#: to converge indicates a broken geometry and raises.
+SEED_REJECTION_PASSES = 64
 
 
 @dataclass(frozen=True)
@@ -130,6 +138,9 @@ class StepDiagnostics:
     boundary: BoundaryStats
     total_energy: float
     momentum_x: float
+    #: Wall-clock seconds by phase for this step (from the perf ledger;
+    #: ``None`` when the ledger is disabled).
+    phase_seconds: Optional[dict] = None
 
 
 class Simulation:
@@ -143,10 +154,19 @@ class Simulation:
         rho = sim.sampler.density_ratio(sim.config.freestream.density)
     """
 
-    def __init__(self, config: SimulationConfig) -> None:
+    def __init__(self, config: SimulationConfig, hotpath: bool = True) -> None:
         self.config = config
         self.rng = make_rng(config.seed)
         self.step_count = 0
+        #: ``hotpath=False`` runs the legacy allocating kernels
+        #: (argsort of wide scaled keys, gather/scatter collisions,
+        #: full-array boundary passes) -- the pre-overhaul baseline the
+        #: hot-path benchmark compares against, and a fallback should a
+        #: fused kernel ever be in doubt.
+        self.hotpath = bool(hotpath)
+        #: Per-phase wall-clock ledger (the paper's motion/sort/
+        #: selection/collision split, measured).
+        self.perf = PerfLedger()
 
         # Fractional cell volumes (the selection rule and the sampler
         # both need them when a wedge cuts the grid).
@@ -183,6 +203,9 @@ class Simulation:
         #: Optional extra probes (e.g. analysis.vdf.VDFProbe); each
         #: object's ``sample(particles)`` runs on sampling steps.
         self.probes: list = []
+        if self.hotpath:
+            self.particles.enable_scratch()
+            self.reservoir.particles.enable_scratch()
         assign_cells(self.particles, config.domain)
 
     # -- construction helpers ---------------------------------------------
@@ -204,13 +227,25 @@ class Simulation:
             return parts
         # Rejection passes: re-draw positions of particles that landed
         # inside the wedge until none remain (area ratio ~0.97 per pass).
-        for _ in range(64):
+        for _ in range(SEED_REJECTION_PASSES):
             bad = cfg.wedge.inside(parts.x, parts.y)
             n_bad = int(np.count_nonzero(bad))
             if n_bad == 0:
                 break
             parts.x[bad] = self.rng.uniform(0.0, cfg.domain.width, size=n_bad)
             parts.y[bad] = self.rng.uniform(0.0, cfg.domain.height, size=n_bad)
+        # Never hand back a population with particles embedded in the
+        # solid: a run started from such a state silently corrupts the
+        # early flow field (phantom wedge-interior collisions and bogus
+        # surface loads).
+        n_bad = int(np.count_nonzero(cfg.wedge.inside(parts.x, parts.y)))
+        if n_bad:
+            raise ConfigurationError(
+                f"flow seeding failed to converge: {n_bad} particles "
+                f"remain inside the wedge after {SEED_REJECTION_PASSES} "
+                "rejection passes (is the open area a vanishing "
+                "fraction of the domain?)"
+            )
         return parts
 
     # -- stepping -----------------------------------------------------------
@@ -219,50 +254,84 @@ class Simulation:
         """Advance the simulation by one time step."""
         cfg = self.config
         parts = self.particles
+        perf = self.perf
 
-        # 1) Collisionless motion.
-        motion.advance(parts)
+        # 1+2) Collisionless motion, then boundary conditions (may
+        #    rebuild the population arrays).  One perf phase: the paper
+        #    reports "particle motion and boundary interaction" as a
+        #    single 14% line item.  Surface loads accumulate only
+        #    during sampling steps.
+        with perf.phase("motion"):
+            motion.advance(parts)
+            self.boundaries.surface_sampler = (
+                self.surface if (sample and self.surface is not None) else None
+            )
+            parts, bstats = self.boundaries.apply_rebuilding(
+                parts, self.reservoir, self.rng
+            )
 
-        # 2) Boundary conditions (may rebuild the population arrays).
-        #    Surface loads accumulate only during sampling steps.
-        self.boundaries.surface_sampler = (
-            self.surface if (sample and self.surface is not None) else None
-        )
-        parts, bstats = self.boundaries.apply_rebuilding(
-            parts, self.reservoir, self.rng
-        )
+        # 3a) Cell indexing + the fused counting sort: one kernel
+        #    yields the sorted order *and* the per-cell histogram the
+        #    selection rule needs (no separate bincount pass).
+        with perf.phase("sort"):
+            assign_cells(parts, cfg.domain)
+            sort_res = sort_by_cell(
+                parts, rng=self.rng, scale=cfg.sort_scale,
+                n_cells=cfg.domain.n_cells,
+                kernel="counting" if self.hotpath else "scaled-key",
+            )
+            counts = sort_res.counts
 
-        # 3) Selection of collision partners.
-        assign_cells(parts, cfg.domain)
-        sort_by_cell(parts, rng=self.rng, scale=cfg.sort_scale)
-        pairs = even_odd_pairs(parts.cell)
-        counts = cell_populations(parts.cell, cfg.domain.n_cells)
-        selection = select_collisions(
-            parts,
-            pairs,
-            cfg.freestream,
-            cfg.model,
-            counts,
-            volume_fractions=self._vf_flat,
-            rng=self.rng,
-        )
+        # 3b) Pairing + the selection rule.
+        with perf.phase("selection"):
+            pairs = even_odd_pairs(parts.cell, scratch=parts.scratch)
+            if parts.scratch is not None:
+                draws = parts.scratch.array("sel_draws", pairs.n_pairs)
+                self.rng.random(out=draws)
+            else:
+                draws = None
+            selection = select_collisions(
+                parts,
+                pairs,
+                cfg.freestream,
+                cfg.model,
+                counts,
+                volume_fractions=self._vf_flat,
+                rng=self.rng,
+                draws=draws,
+            )
 
-        # 4) Collision of selected partners.
-        first = pairs.first[selection.accept]
-        second = pairs.second[selection.accept]
-        collide_pairs(
-            parts,
-            first,
-            second,
-            rng=self.rng,
-            internal_exchange_probability=(
-                cfg.model.internal_exchange_probability
-            ),
-        )
+        # 4) Collision of selected partners.  Sorted even/odd pairs are
+        #    adjacent rows, so the hot path collides contiguous two-row
+        #    blocks instead of gather/scatter by address.
+        with perf.phase("collision"):
+            if self.hotpath and pairs.adjacent:
+                collide_adjacent_pairs(
+                    parts,
+                    np.flatnonzero(selection.accept),
+                    rng=self.rng,
+                    internal_exchange_probability=(
+                        cfg.model.internal_exchange_probability
+                    ),
+                )
+            else:
+                first = pairs.first[selection.accept]
+                second = pairs.second[selection.accept]
+                collide_pairs(
+                    parts,
+                    first,
+                    second,
+                    rng=self.rng,
+                    internal_exchange_probability=(
+                        cfg.model.internal_exchange_probability
+                    ),
+                )
 
-        # Side work: the reservoir Gaussianizes itself.
+        # Side work: the reservoir Gaussianizes itself.  Charged to its
+        # own phase -- the paper's four-phase split does not include it.
         if cfg.reservoir_mix_rounds:
-            self.reservoir.mix(self.rng, rounds=cfg.reservoir_mix_rounds)
+            with perf.phase("reservoir"):
+                self.reservoir.mix(self.rng, rounds=cfg.reservoir_mix_rounds)
 
         self.particles = parts
         self.step_count += 1
@@ -277,6 +346,7 @@ class Simulation:
         mean_p = (
             float(selection.probability[cand].mean()) if cand.any() else 0.0
         )
+        perf.end_step()
         return StepDiagnostics(
             step=self.step_count,
             n_flow=parts.n,
@@ -288,6 +358,7 @@ class Simulation:
             boundary=bstats,
             total_energy=parts.total_energy(),
             momentum_x=float(parts.u.sum()),
+            phase_seconds=perf.last_step_seconds if perf.enabled else None,
         )
 
     def run(self, n_steps: int, sample: bool = False) -> StepDiagnostics:

@@ -9,8 +9,31 @@ virtual processor the sort achieves "a perfect dynamic load balance for
 the collision routine" -- processing power is redistributed to match the
 cell populations every step.
 
-The NumPy engine sorts with a stable argsort; the CM engine layers cost
-accounting on the same result via :mod:`repro.cm.sort`.
+**The fused counting-sort kernel.**  The cell index is a small dense
+integer (98x64 = 6272 cells), so a comparison sort is overkill: the
+natural O(N) algorithm is a counting sort -- per-cell histogram, prefix
+sum to bucket offsets, stable placement.  NumPy exposes exactly that
+machinery: ``np.argsort(kind="stable")`` on a <= 16-bit integer key runs
+the library's radix/counting path (histogram + prefix scan per byte), an
+order of magnitude faster than the comparison sort it falls back to for
+wider dtypes.  :func:`sort_by_cell` therefore narrows the key to 16 bits
+whenever the cell range allows and keeps the wide comparison sort only
+as a fallback for huge grids.
+
+The paper's intra-cell randomization ("a random number less than the
+scale factor is added" to the scaled cell index) is preserved, but
+implemented as bucket shuffling: apply a uniform random permutation of
+*all* particles first, then counting-sort the permuted cell keys stably.
+Each cell's bucket receives its members in uniformly random relative
+order -- exactly the distribution the scaled-key trick approximates --
+while the key stays narrow and the histogram (``counts``) falls out of
+the same pass, eliminating the separate ``cell_populations`` bincount
+the step loop used to pay.
+
+The CM engine supplies explicit ``mix_bits`` instead of an rng; that
+path keeps the paper's literal ``cell * scale + bits`` key (narrowed
+when it fits) so the emulated sort order is bit-identical to the seed
+implementation.
 """
 
 from __future__ import annotations
@@ -23,6 +46,12 @@ import numpy as np
 from repro.constants import DEFAULT_SORT_SCALE
 from repro.core.cells import randomized_sort_keys
 from repro.core.particles import ParticleArrays
+from repro.errors import ConfigurationError
+
+#: Largest key value that still takes NumPy's radix/counting sort path
+#: (stable argsort of uint16); beyond this the kernel falls back to the
+#: wide comparison sort.  Keys are validated non-negative upstream.
+NARROW_KEY_LIMIT = int(np.iinfo(np.uint16).max)
 
 
 @dataclass(frozen=True)
@@ -37,10 +66,82 @@ class SortStepResult:
         Mean absolute change of sorted rank per particle -- the
         "general communication" driver: a particle whose rank moved
         less than the VP block size stays on its physical processor.
+    counts:
+        Per-cell populations (length ``n_cells``) when the caller
+        passed ``n_cells`` -- the histogram half of the fused kernel,
+        reusable downstream (selection probabilities, diagnostics)
+        without a second bincount.  ``None`` otherwise.
     """
 
     order: np.ndarray
     rank_shift: float
+    counts: Optional[np.ndarray] = None
+
+
+def counting_sort_order(
+    cell: np.ndarray,
+    rng: Optional[np.random.Generator] = None,
+    shuffle: bool = True,
+    scratch=None,
+    max_key: Optional[int] = None,
+) -> np.ndarray:
+    """Stable O(N) sort permutation of small-integer cell keys.
+
+    With ``shuffle=True`` (and an rng) the returned order additionally
+    randomizes intra-cell positions uniformly: a global permutation
+    ``p`` is drawn, the permuted keys are counting-sorted stably, and
+    the two permutations are composed, so equal keys land in the order
+    ``p`` visits them.  ``shuffle=False`` is the plain stable sort (the
+    ablation / ``scale=1`` configuration).
+
+    ``scratch`` (a :class:`repro.core.particles.ScratchBuffers`) makes
+    the kernel allocation-free apart from the argsort's own output;
+    ``max_key`` skips the O(N) max scan when the caller knows the key
+    range (e.g. ``domain.n_cells - 1``).
+    """
+    n = cell.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    if max_key is None:
+        # Only scanned when the caller did not vouch for the key range
+        # (the step loop passes ``max_key`` and skips both scans).  A
+        # negative key would corrupt silently via the unsafe uint16
+        # narrowing, so it must be rejected here.
+        if int(cell.min()) < 0:
+            raise ConfigurationError("cell indices must be non-negative")
+        max_key = int(cell.max())
+    narrow = max_key <= NARROW_KEY_LIMIT
+
+    if not (shuffle and rng is not None):
+        if narrow:
+            if scratch is not None:
+                key16 = scratch.array("sort_key16", n, dtype=np.uint16)
+            else:
+                key16 = np.empty(n, dtype=np.uint16)
+            np.copyto(key16, cell, casting="unsafe")
+            return np.argsort(key16, kind="stable")
+        return np.argsort(cell, kind="stable")
+
+    if scratch is not None:
+        p = scratch.permutation(n, rng)
+        key16 = scratch.array("sort_key16", n, dtype=np.uint16)
+        order = scratch.array("sort_order", n, dtype=np.intp)
+    else:
+        p = rng.permutation(n)
+        key16 = np.empty(n, dtype=np.uint16)
+        order = np.empty(n, dtype=np.intp)
+    if narrow:
+        np.copyto(key16, cell, casting="unsafe")
+        # Gather the pre-shuffled keys; "clip" because p is a
+        # permutation (always in range) and "raise" would buffer.
+        shuffled = scratch.array("sort_shuf16", n, dtype=np.uint16) \
+            if scratch is not None else np.empty(n, dtype=np.uint16)
+        np.take(key16, p, out=shuffled, mode="clip")
+        s = np.argsort(shuffled, kind="stable")
+    else:
+        s = np.argsort(cell[p], kind="stable")
+    np.take(p, s, out=order, mode="clip")
+    return order
 
 
 def sort_by_cell(
@@ -48,17 +149,78 @@ def sort_by_cell(
     rng: Optional[np.random.Generator] = None,
     scale: int = DEFAULT_SORT_SCALE,
     mix_bits: Optional[np.ndarray] = None,
+    n_cells: Optional[int] = None,
+    kernel: str = "counting",
 ) -> SortStepResult:
-    """Sort the population by randomized cell key, in place.
+    """Sort the population by cell with randomized intra-cell order.
 
     After this call, particles of one cell occupy a contiguous run of
     addresses in random intra-cell order, ready for even/odd pairing.
+
+    ``scale`` retains its seed-implementation meaning: ``scale = 1``
+    disables the intra-cell mixing (stable no-op on equal cells, the
+    ablation configuration); ``scale > 1`` enables it.  When
+    ``mix_bits`` is given the literal scaled-key sort of the seed
+    implementation runs (the CM engine's "quick & dirty" bits path,
+    bit-identical ordering); otherwise mixing uses the fused
+    shuffle-then-counting-sort kernel, which is uniform rather than
+    approximately uniform and keeps the sort key 16 bits wide.
+
+    ``n_cells`` additionally requests the per-cell histogram in the
+    result (derived from the sorted population by binary search).
+
+    ``kernel`` selects the sort implementation: ``"counting"`` (the
+    fused narrow-key kernel) or ``"scaled-key"`` (the original wide
+    int64 stable argsort of ``cell * scale + offset`` -- kept as the
+    measurable baseline for the hot-path benchmark and the ablation
+    A/B flag ``Simulation(config, hotpath=False)``).
     """
-    keys = randomized_sort_keys(
-        particles.cell, rng=rng, scale=scale, mix_bits=mix_bits
-    )
-    order = np.argsort(keys, kind="stable")
-    n = order.size
-    rank_shift = float(np.abs(order - np.arange(n)).mean()) if n else 0.0
+    cell = particles.cell
+    n = cell.shape[0]
+    scratch = particles.scratch
+    if kernel not in ("counting", "scaled-key"):
+        raise ConfigurationError(f"unknown sort kernel {kernel!r}")
+
+    if mix_bits is not None:
+        # Seed-faithful scaled-key path (CM mix bits).  Narrow the key
+        # dtype when the scaled range fits: stability makes the
+        # permutation bit-identical to the wide sort.
+        keys = randomized_sort_keys(cell, rng=rng, scale=scale,
+                                    mix_bits=mix_bits)
+        if keys.size and keys.max() <= NARROW_KEY_LIMIT:
+            keys = keys.astype(np.uint16)
+        order = np.argsort(keys, kind="stable")
+    elif kernel == "scaled-key":
+        keys = randomized_sort_keys(cell, rng=rng, scale=scale)
+        order = np.argsort(keys, kind="stable")
+    else:
+        if scale < 1 or (scale > 1 and rng is None):
+            # Delegate the argument validation (raises) to the shared
+            # key helper so the error contract matches the seed.
+            randomized_sort_keys(cell, rng=rng, scale=scale)
+        max_key = (n_cells - 1) if n_cells is not None else None
+        order = counting_sort_order(
+            cell, rng=rng, shuffle=(scale > 1), scratch=scratch,
+            max_key=max_key,
+        )
+
+    if n:
+        if scratch is not None:
+            diff = scratch.array("sort_rankdiff", n, dtype=np.intp)
+            np.subtract(order, scratch.arange(n), out=diff)
+            np.abs(diff, out=diff)
+            rank_shift = float(diff.mean())
+        else:
+            rank_shift = float(np.abs(order - np.arange(n)).mean())
+    else:
+        rank_shift = 0.0
     particles.reorder_inplace(order)
-    return SortStepResult(order=order, rank_shift=rank_shift)
+
+    counts = None
+    if n_cells is not None:
+        # The population is cell-sorted now, so the histogram is a
+        # binary search over the n_cells bucket edges -- O(C log N)
+        # instead of the O(N) bincount pass.
+        edges = np.searchsorted(particles.cell, np.arange(n_cells + 1))
+        counts = np.diff(edges)
+    return SortStepResult(order=order, rank_shift=rank_shift, counts=counts)

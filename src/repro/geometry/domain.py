@@ -69,9 +69,20 @@ class Domain:
         j = np.clip(np.floor(y).astype(np.int64), 0, self.ny - 1)
         return i, j
 
-    def cell_index(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        """Flattened cell index ``i * ny + j`` of each point."""
+    def cell_index(
+        self, x: np.ndarray, y: np.ndarray, out: np.ndarray = None
+    ) -> np.ndarray:
+        """Flattened cell index ``i * ny + j`` of each point.
+
+        ``out`` (int64, same shape) receives the result in place --
+        the step loop passes the population's cell column so repeated
+        indexing performs no O(N) result allocation.
+        """
         i, j = self.cell_coords(x, y)
+        if out is not None:
+            np.multiply(i, self.ny, out=out)
+            out += j
+            return out
         return i * self.ny + j
 
     def cell_index_from_coords(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:

@@ -157,6 +157,13 @@ def load_simulation(path: PathLike) -> Simulation:
         sim = Simulation(config)
         sim.particles = _unpack_particles("flow", data)
         sim.reservoir.particles = _unpack_particles("res", data)
+        if sim.hotpath:
+            # The restored populations must take the same kernels as the
+            # saved run (scratch-enabled hot path vs legacy differ in
+            # memory order after in-place reorders), or continuation
+            # would not be bitwise identical.
+            sim.particles.enable_scratch()
+            sim.reservoir.particles.enable_scratch()
         sim.step_count = int(data["step_count"])
         sim.boundaries.plunger.position = float(data["plunger_position"])
         sim.rng.bit_generator.state = json.loads(str(data["rng_state_json"]))

@@ -1,0 +1,139 @@
+"""Per-phase wall-clock performance ledger for the NumPy engine.
+
+The paper reports its runtime as a per-phase breakdown -- motion and
+boundaries 14%, sort 27%, selection 20%, collision 39% of 7.2
+microseconds per particle per step -- and the CM emulation reproduces
+that structurally through :class:`repro.cm.timing.CostLedger`.  This
+module is the *wall-clock* counterpart for the reference (NumPy)
+engine: the step loop wraps each phase in :meth:`PerfLedger.phase` and
+the ledger accumulates real elapsed seconds, so a run can print its own
+motion/sort/selection/collision split next to the paper's and the
+benchmark suite can track the hot path's trajectory across commits.
+
+Overhead is two ``perf_counter`` calls per phase per step (tens of
+nanoseconds), negligible against the O(N) kernels being timed; the
+ledger can still be disabled for the purest timing runs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+#: The paper's four timed phases, in execution order.  The ledger also
+#: accepts extra phase names (e.g. "reservoir", "sampling") -- they are
+#: reported separately and excluded from the four-phase fractions so the
+#: split stays comparable with the paper's table.
+PAPER_PHASES = ("motion", "sort", "selection", "collision")
+
+
+class PerfLedger:
+    """Accumulates wall-clock seconds by named phase.
+
+    Typical use inside a step loop::
+
+        perf = PerfLedger()
+        with perf.phase("motion"):
+            ...
+        with perf.phase("sort"):
+            ...
+        perf.end_step()
+
+    and afterwards ``perf.fractions()`` for the paper-style split or
+    ``perf.us_per_particle(n)`` for the per-particle budget.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._seconds: Dict[str, float] = {}
+        self._last_step: Dict[str, float] = {}
+        self._current: Dict[str, float] = {}
+        self._steps = 0
+
+    # -- recording --------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time the enclosed block and charge it to ``name``."""
+        if not self.enabled:
+            yield
+            return
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self._current[name] = self._current.get(name, 0.0) + dt
+            self._seconds[name] = self._seconds.get(name, 0.0) + dt
+
+    def end_step(self) -> None:
+        """Close out one time step (freezes that step's phase split)."""
+        self._steps += 1
+        self._last_step = self._current
+        self._current = {}
+
+    def reset(self) -> None:
+        """Drop all accumulated timings (e.g. after warm-up steps)."""
+        self._seconds = {}
+        self._last_step = {}
+        self._current = {}
+        self._steps = 0
+
+    # -- reading ----------------------------------------------------------
+
+    @property
+    def steps(self) -> int:
+        return self._steps
+
+    @property
+    def last_step_seconds(self) -> Dict[str, float]:
+        """Phase -> seconds of the most recently completed step."""
+        return dict(self._last_step)
+
+    def total_seconds(self) -> float:
+        """Wall-clock seconds accumulated across all phases."""
+        return sum(self._seconds.values())
+
+    def phase_seconds(self, name: str) -> float:
+        """Accumulated seconds for one phase (0.0 if never entered)."""
+        return self._seconds.get(name, 0.0)
+
+    def per_step_seconds(self) -> Dict[str, float]:
+        """Phase -> mean seconds per recorded step."""
+        if self._steps == 0:
+            return {}
+        return {p: s / self._steps for p, s in self._seconds.items()}
+
+    def fractions(self) -> Dict[str, float]:
+        """Share of each *paper* phase in the four-phase total.
+
+        Extra phases (reservoir work, sampling) are excluded from the
+        denominator so the split is directly comparable with the
+        paper's 14/27/20/39 table.
+        """
+        total = sum(self._seconds.get(p, 0.0) for p in PAPER_PHASES)
+        if total == 0.0:
+            return {p: 0.0 for p in PAPER_PHASES}
+        return {p: self._seconds.get(p, 0.0) / total for p in PAPER_PHASES}
+
+    def us_per_particle(self, n_particles: int) -> Dict[str, float]:
+        """Phase -> microseconds per particle per step (paper units)."""
+        if self._steps == 0 or n_particles <= 0:
+            return {}
+        return {
+            p: s / self._steps / n_particles * 1e6
+            for p, s in self._seconds.items()
+        }
+
+    def summary(self, n_particles: Optional[int] = None) -> Dict[str, object]:
+        """One serializable record of everything the ledger knows."""
+        out: Dict[str, object] = {
+            "steps": self._steps,
+            "seconds_by_phase": dict(self._seconds),
+            "per_step_seconds": self.per_step_seconds(),
+            "fractions": self.fractions(),
+        }
+        if n_particles:
+            out["us_per_particle"] = self.us_per_particle(n_particles)
+        return out

@@ -139,7 +139,12 @@ class TestSpanCollapseValidation:
         sim3, sim2, wedge = pair_of_runs
         fit3 = fit_shock_angle(sim3.density_ratio_field(), wedge)
         fit2 = fit_shock_angle(sim2.density_ratio_field(), wedge)
-        assert fit3.angle_deg == pytest.approx(fit2.angle_deg, abs=3.0)
+        # The two fits are independent realizations on a coarse 40x26
+        # grid; the fitted-angle difference measured across seeds spans
+        # -3.1..+1.1 deg (sigma ~ 1.8 deg).  5 deg separates that
+        # realization noise from a structural collapse failure (a
+        # broken z-average shifts the fit by >10 deg).
+        assert fit3.angle_deg == pytest.approx(fit2.angle_deg, abs=5.0)
 
     def test_plateau_matches(self, pair_of_runs):
         sim3, sim2, wedge = pair_of_runs

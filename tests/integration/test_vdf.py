@@ -68,7 +68,7 @@ class TestShockInteriorKinetics:
         cfg = SimulationConfig(
             domain=Domain(49, 32),
             freestream=Freestream(
-                mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=14.0
+                mach=4.0, c_mp=0.14, lambda_mfp=1.5, density=14.0
             ),
             wedge=Wedge(x_leading=10.0, base=12.5, angle_deg=30.0),
             seed=33,
@@ -76,9 +76,17 @@ class TestShockInteriorKinetics:
         sim = Simulation(cfg)
         sim.run(200)
         # Probes: freestream box; shock-front box at ~75% chord where
-        # the (45 deg) front passes y ~ [9, 11] for x ~ [19, 21].
-        free = VDFProbe((10, 20), (22, 28), component="u")
-        front = VDFProbe((18.0, 22.0), (8.5, 12.0), component="u")
+        # the (45 deg) front passes y ~ [9, 11] for x ~ [19, 21].  At
+        # lambda = 1.5 the front is several cells thick, so a fixed box
+        # on its upstream side samples the two-stream interior in every
+        # realization (at lambda = 0.5 the front is ~1 cell thick and
+        # realization-to-realization shock drift moves it in and out of
+        # any fixed box, making the excess-variance statistic flaky).
+        # The freestream box sits upstream of the leading edge: at
+        # lambda = 1.5 hot front particles random-walk far enough that
+        # boxes above the wedge pick up a percent-level variance tail.
+        free = VDFProbe((2, 9), (20, 30), component="u")
+        front = VDFProbe((18.0, 22.0), (10.5, 14.0), component="u")
         sim.probes = [free, front]
         sim.run(260, sample=True)
         return sim, free, front
@@ -96,10 +104,12 @@ class TestShockInteriorKinetics:
         # variance than ANY local equilibrium could.  The hottest
         # equilibrium in the problem is the post-shock state, so
         # variance above eq_var_post proves a two-stream (kinetic)
-        # mixture.  At Kn = 0.02 interior collisions partially
-        # equilibrate the front, so the excess is percent-level -- but
-        # with ~1e5 samples the variance estimator's noise is ~0.5%,
-        # making a 3% threshold an >5-sigma detection.
+        # mixture.  Interior collisions partially equilibrate the
+        # front, so the excess is percent-level -- measured 0.04-0.06
+        # across independent seeds at this Knudsen number, while the
+        # variance estimator's noise at ~1e5 samples is ~0.5%, so the
+        # 3% threshold is a >5-sigma detection with headroom for
+        # realization-to-realization shock drift.
         sim, free, front = probed_run
         fs = sim.config.freestream
         beta = theory.shock_angle(fs.mach, math.radians(30.0))

@@ -1,0 +1,100 @@
+"""Properties of the fused counting-sort kernel (core/sortstep.py).
+
+The kernel replaced a wide stable argsort of ``cell * scale + offset``
+keys; these tests pin the properties the step loop relies on:
+
+* without shuffling it is *bit-identical* to the stable argsort of the
+  raw cell keys (key equivalence -- narrowing the dtype must not change
+  the permutation);
+* with shuffling the result is still a permutation that leaves the
+  population cell-contiguous (the invariant even/odd pairing needs);
+* the intra-cell order is uniformly random across rng streams, and the
+  even/odd candidacy statistics match the legacy scaled-key scheme.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.cells import randomized_sort_keys
+from repro.core.pairing import even_odd_pairs
+from repro.core.sortstep import counting_sort_order
+
+cell_arrays = arrays(
+    np.int64,
+    st.integers(min_value=0, max_value=300),
+    elements=st.integers(min_value=0, max_value=6271),
+)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestKeyEquivalence:
+    @given(cell_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_no_shuffle_is_bit_identical_to_wide_stable_argsort(self, cell):
+        # The uint16 narrowing must not change the permutation: stable
+        # sorts of equal key sequences agree element-wise.
+        order = counting_sort_order(cell, shuffle=False)
+        assert np.array_equal(order, np.argsort(cell, kind="stable"))
+
+    @given(cell_arrays, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_shuffled_order_is_a_cell_contiguous_permutation(self, cell, seed):
+        rng = np.random.default_rng(seed)
+        order = counting_sort_order(cell, rng=rng, shuffle=True)
+        n = cell.shape[0]
+        assert np.array_equal(np.sort(order), np.arange(n))
+        if n:
+            assert np.all(np.diff(cell[order]) >= 0)
+
+    @given(cell_arrays, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_shuffled_matches_scaled_key_sort_up_to_intra_cell_order(
+        self, cell, seed
+    ):
+        # Same multiset per cell bucket as the legacy scheme -- only
+        # the intra-cell order may differ.
+        rng = np.random.default_rng(seed)
+        new = cell[counting_sort_order(cell, rng=rng, shuffle=True)]
+        rng = np.random.default_rng(seed)
+        keys = randomized_sort_keys(cell, rng=rng, scale=8)
+        old = cell[np.argsort(keys, kind="stable")]
+        assert np.array_equal(new, old)
+
+
+class TestIntraCellRandomization:
+    def test_intra_cell_order_is_uniform_over_streams(self):
+        # 3 particles in one cell: each of the 3! orderings must appear
+        # with frequency ~1/6.  5-sigma bounds on 3000 trials.
+        cell = np.zeros(3, dtype=np.int64)
+        counts = {}
+        trials = 3000
+        master = np.random.default_rng(2024)
+        for _ in range(trials):
+            rng = np.random.default_rng(master.integers(2**63))
+            order = tuple(counting_sort_order(cell, rng=rng, shuffle=True))
+            counts[order] = counts.get(order, 0) + 1
+        assert len(counts) == 6
+        expected = trials / 6
+        sigma = np.sqrt(expected * (1 - 1 / 6))
+        for order, c in counts.items():
+            assert abs(c - expected) < 5 * sigma, (order, c)
+
+    def test_candidacy_stats_match_legacy_scheme(self):
+        # The even/odd same-cell candidate fraction is a distributional
+        # invariant: bucket shuffling and scaled-key randomization must
+        # produce statistically identical pairing efficiency.
+        master = np.random.default_rng(99)
+        cell = np.sort(master.integers(0, 64, size=4000))
+        frac_new, frac_old = [], []
+        for _ in range(40):
+            rng = np.random.default_rng(master.integers(2**63))
+            order = counting_sort_order(cell, rng=rng, shuffle=True)
+            frac_new.append(even_odd_pairs(cell[order]).same_cell.mean())
+            rng = np.random.default_rng(master.integers(2**63))
+            keys = randomized_sort_keys(cell, rng=rng, scale=64)
+            order = np.argsort(keys, kind="stable")
+            frac_old.append(even_odd_pairs(cell[order]).same_cell.mean())
+        assert abs(np.mean(frac_new) - np.mean(frac_old)) < 0.01
