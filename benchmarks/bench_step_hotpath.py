@@ -10,12 +10,20 @@ paper's motion / sort / selection / collision split.
 Standalone: ``PYTHONPATH=src python benchmarks/bench_step_hotpath.py``
 writes ``BENCH_step_hotpath.json`` at the repository root (the
 gitignored ``benchmarks/out/`` is for the figure records).
+
+CI smoke mode: ``--steps 5 --check-against BENCH_step_hotpath.json``
+runs a short measurement and exits non-zero if the hot path's
+us/particle/step regressed more than ``--tolerance`` (default 25%)
+against the committed record -- a coarse tripwire for accidental
+de-optimization, not a precision benchmark.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
+import sys
 import time
 
 from repro.core.simulation import Simulation, SimulationConfig
@@ -41,21 +49,23 @@ def default_config(density: float = 40.0, seed: int = 1989) -> SimulationConfig:
     )
 
 
-def _timed_run(hotpath: bool, config: SimulationConfig):
+def _timed_run(hotpath: bool, config: SimulationConfig, steps: int):
     sim = Simulation(config, hotpath=hotpath)
     sim.run(WARMUP_STEPS)
     sim.perf.reset()
     t0 = time.perf_counter()
-    sim.run(TIMED_STEPS)
+    sim.run(steps)
     elapsed = time.perf_counter() - t0
     return sim, elapsed
 
 
-def run_benchmark(config: SimulationConfig | None = None) -> dict:
+def run_benchmark(
+    config: SimulationConfig | None = None, steps: int = TIMED_STEPS
+) -> dict:
     """Measure both paths and return the comparison record."""
     config = config or default_config()
-    legacy_sim, legacy_s = _timed_run(False, config)
-    hot_sim, hot_s = _timed_run(True, config)
+    legacy_sim, legacy_s = _timed_run(False, config, steps)
+    hot_sim, hot_s = _timed_run(True, config, steps)
 
     n = hot_sim.particles.n
     per_step = hot_sim.perf.per_step_seconds()
@@ -69,14 +79,14 @@ def run_benchmark(config: SimulationConfig | None = None) -> dict:
             "seed": config.seed,
         },
         "n_particles": n,
-        "timed_steps": TIMED_STEPS,
+        "timed_steps": steps,
         "legacy": {
-            "steps_per_sec": TIMED_STEPS / legacy_s,
-            "us_per_particle_step": legacy_s / TIMED_STEPS / n * 1e6,
+            "steps_per_sec": steps / legacy_s,
+            "us_per_particle_step": legacy_s / steps / n * 1e6,
         },
         "hotpath": {
-            "steps_per_sec": TIMED_STEPS / hot_s,
-            "us_per_particle_step": hot_s / TIMED_STEPS / n * 1e6,
+            "steps_per_sec": steps / hot_s,
+            "us_per_particle_step": hot_s / steps / n * 1e6,
             "phase_seconds_per_step": per_step,
             "phase_fractions": hot_sim.perf.fractions(),
         },
@@ -86,10 +96,46 @@ def run_benchmark(config: SimulationConfig | None = None) -> dict:
     return result
 
 
-def main() -> None:
-    result = run_benchmark()
-    out = REPO_ROOT / "BENCH_step_hotpath.json"
-    out.write_text(json.dumps(result, indent=2) + "\n")
+def check_against(result: dict, baseline_path: pathlib.Path,
+                  tolerance: float) -> bool:
+    """True if the hot path is within ``tolerance`` of the baseline.
+
+    Compares us/particle/step (machine-speed sensitive but
+    population-size invariant, so a smoke run with few steps can be
+    held against the full committed record).
+    """
+    baseline = json.loads(baseline_path.read_text())
+    ref = baseline["hotpath"]["us_per_particle_step"]
+    got = result["hotpath"]["us_per_particle_step"]
+    ratio = got / ref
+    print(
+        f"regression check: {got:.3f} vs baseline {ref:.3f} "
+        f"us/particle/step ({ratio:.2f}x, tolerance {1 + tolerance:.2f}x)"
+    )
+    return ratio <= 1.0 + tolerance
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--steps", type=int, default=TIMED_STEPS,
+        help="timed steps per engine (smoke runs use ~5)",
+    )
+    parser.add_argument(
+        "--check-against", type=pathlib.Path, default=None,
+        help="committed BENCH_step_hotpath.json to compare with; "
+             "exits 1 on a regression beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional slowdown of the hot path (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(steps=args.steps)
+    if args.check_against is None:
+        out = REPO_ROOT / "BENCH_step_hotpath.json"
+        out.write_text(json.dumps(result, indent=2) + "\n")
     print(f"particles: {result['n_particles']}")
     print(
         "legacy  : {:.2f} steps/s".format(result["legacy"]["steps_per_sec"])
@@ -106,8 +152,15 @@ def main() -> None:
                 result["hotpath"]["phase_seconds_per_step"][name] * 1e3,
             )
         )
-    print(f"wrote {out}")
+    if args.check_against is not None:
+        if not check_against(result, args.check_against, args.tolerance):
+            print("FAIL: hot path slower than the committed baseline")
+            return 1
+        print("OK: within tolerance of the committed baseline")
+    else:
+        print(f"wrote {out}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -47,6 +47,9 @@ def _build_parser() -> argparse.ArgumentParser:
     w.add_argument("--transient", type=int, default=350)
     w.add_argument("--average", type=int, default=350)
     w.add_argument("--seed", type=int, default=1989)
+    w.add_argument("--workers", type=int, default=1,
+                   help="shard the tunnel into N x-slabs stepped by N "
+                        "worker processes (1 = serial engine)")
     w.add_argument("--contours", action="store_true",
                    help="print ASCII density contours")
     w.add_argument("--save", type=str, default=None,
@@ -99,12 +102,22 @@ def _cmd_wedge(args: argparse.Namespace) -> int:
         wedge=wedge,
         seed=args.seed,
     )
-    sim = Simulation(config)
-    print(f"{sim.particles.n} particles, grid {args.nx}x{args.ny}")
+    backend = None
+    if args.workers > 1:
+        from repro.parallel.backend import ShardedBackend
+
+        backend = ShardedBackend(args.workers)
+    sim = Simulation(config, backend=backend)
+    print(
+        f"{sim.particles.n} particles, grid {args.nx}x{args.ny}, "
+        f"{args.workers} worker(s)"
+    )
     t0 = time.time()
     sim.run(args.transient)
     sim.run(args.average, sample=True)
     print(f"ran {args.transient}+{args.average} steps in {time.time()-t0:.0f} s")
+    sim.gather()
+    sim.close()
 
     rho = sim.density_ratio_field()
     beta = theory.shock_angle_deg(args.mach, args.angle)

@@ -26,7 +26,7 @@ for pathological corner cases.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -123,6 +123,8 @@ class WindTunnelBoundaries:
         wall_c_mp: Optional[float] = None,
         accommodation: float = 1.0,
         span_depth: float = 1.0,
+        has_inlet: bool = True,
+        has_outlet: bool = True,
     ) -> None:
         if wedge is not None:
             wedge.validate_in(domain)
@@ -159,6 +161,14 @@ class WindTunnelBoundaries:
         #: deposit their impulses into it (armed per step by the driver
         #: so surface averages align with the field-sampling phase).
         self.surface_sampler = None
+        #: Domain-sharded runs split the streamwise boundaries across
+        #: workers: only the first shard owns the upstream plunger
+        #: (``has_inlet``) and only the last shard owns the downstream
+        #: sink (``has_outlet``).  Interior shards run with both False;
+        #: their x-crossings are migrations handled by the exchange
+        #: machinery, not boundary conditions.  Serial runs keep both.
+        self.has_inlet = has_inlet
+        self.has_outlet = has_outlet
         self.plunger = PlungerState(
             position=0.0, trigger=plunger_trigger, speed=freestream.speed
         )
@@ -190,12 +200,15 @@ class WindTunnelBoundaries:
 
         # 1) Upstream plunger face: specular in the moving frame.
         #    u' = 2 U_p - u, x' = 2 x_p - x for particles behind the face.
-        xp = self.plunger.position
-        behind = particles.x < xp
-        if np.any(behind):
-            particles.x[behind] = 2.0 * xp - particles.x[behind]
-            particles.u[behind] = 2.0 * self.plunger.speed - particles.u[behind]
-            n_walls += int(np.count_nonzero(behind))
+        if self.has_inlet:
+            xp = self.plunger.position
+            behind = particles.x < xp
+            if np.any(behind):
+                particles.x[behind] = 2.0 * xp - particles.x[behind]
+                particles.u[behind] = (
+                    2.0 * self.plunger.speed - particles.u[behind]
+                )
+                n_walls += int(np.count_nonzero(behind))
 
         # 2) Solid surfaces, iterated to a fixed point.
         for _ in range(MAX_REFLECTION_PASSES):
@@ -236,21 +249,26 @@ class WindTunnelBoundaries:
         n_clamped += self._clamp_stragglers(particles)
 
         # 3) Soft downstream boundary: remove into the reservoir.
-        exited = self.domain.exited_downstream(particles.x)
-        n_removed = int(np.count_nonzero(exited))
-        if n_removed:
-            particles = particles.select(~exited)
-            if reservoir is not None:
-                reservoir.deposit(rng, n_removed)
+        n_removed = 0
+        if self.has_outlet:
+            exited = self.domain.exited_downstream(particles.x)
+            n_removed = int(np.count_nonzero(exited))
+            if n_removed:
+                particles = particles.select(~exited)
+                if reservoir is not None:
+                    reservoir.deposit(rng, n_removed)
 
         # 4) Advance the plunger; withdraw and refill past the trigger.
         n_injected = 0
         reset = False
-        self.plunger.position += self.plunger.speed
-        if self.plunger.position >= self.plunger.trigger:
-            n_injected, particles = self._refill_void(particles, reservoir, rng)
-            self.plunger.position = 0.0
-            reset = True
+        if self.has_inlet:
+            self.plunger.position += self.plunger.speed
+            if self.plunger.position >= self.plunger.trigger:
+                n_injected, particles = self._refill_void(
+                    particles, reservoir, rng
+                )
+                self.plunger.position = 0.0
+                reset = True
 
         return particles, BoundaryStats(
             n_reflected_walls=n_walls,
@@ -290,14 +308,15 @@ class WindTunnelBoundaries:
         n_clamped = 0
 
         # 1) Upstream plunger face: specular in the moving frame.
-        xp = self.plunger.position
         mask = sc.array("bnd_mask", n, dtype=bool)
-        np.less(x, xp, out=mask)
-        behind = np.flatnonzero(mask)
-        if behind.size:
-            x[behind] = 2.0 * xp - x[behind]
-            u[behind] = 2.0 * self.plunger.speed - u[behind]
-            n_walls += int(behind.size)
+        if self.has_inlet:
+            xp = self.plunger.position
+            np.less(x, xp, out=mask)
+            behind = np.flatnonzero(mask)
+            if behind.size:
+                x[behind] = 2.0 * xp - x[behind]
+                u[behind] = 2.0 * self.plunger.speed - u[behind]
+                n_walls += int(behind.size)
 
         # 2) Solid surfaces, iterated to a fixed point on the moved set.
         active: Optional[np.ndarray] = None  # None = scan everyone
@@ -360,18 +379,29 @@ class WindTunnelBoundaries:
             n_clamped = self._clamp_subset(particles, active)
 
         # 3) Soft downstream boundary: remove into the reservoir.
-        np.greater_equal(x, self.domain.width, out=mask)
-        n_removed = int(np.count_nonzero(mask))
-        if n_removed:
-            # Backfill removal: O(exited), and the cell sort right
-            # after this phase re-orders the population anyway.
-            particles.remove_inplace(mask)
-            if reservoir is not None:
-                reservoir.deposit(rng, n_removed)
+        n_removed = 0
+        if self.has_outlet:
+            np.greater_equal(x, self.domain.width, out=mask)
+            n_removed = int(np.count_nonzero(mask))
+            if n_removed:
+                # Backfill removal: O(exited), and the cell sort right
+                # after this phase re-orders the population anyway.
+                particles.remove_inplace(mask)
+                if reservoir is not None:
+                    reservoir.deposit(rng, n_removed)
 
         # 4) Advance the plunger; withdraw and refill past the trigger.
         n_injected = 0
         reset = False
+        if not self.has_inlet:
+            return particles, BoundaryStats(
+                n_reflected_walls=n_walls,
+                n_reflected_wedge=n_wedge,
+                n_removed_downstream=n_removed,
+                n_injected_upstream=0,
+                n_clamped=n_clamped,
+                plunger_reset=False,
+            )
         self.plunger.position += self.plunger.speed
         if self.plunger.position >= self.plunger.trigger:
             xp = self.plunger.position

@@ -15,7 +15,7 @@ kernels mutate columns in place.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -27,6 +27,18 @@ from repro.rng import random_permutation_table
 
 #: Column names of the SoA container, in reorder/copy order.
 COLUMN_NAMES = ("x", "y", "u", "v", "w", "rot", "perm", "cell", "z")
+
+#: Scalar float64 columns carried by a migrating particle, in packing
+#: order; the ``rot`` components follow them in the same float buffer
+#: and the int8 ``perm`` row travels in a sibling buffer.  ``cell`` is
+#: deliberately absent: the receiving shard re-derives it in its own
+#: cell-indexing pass.
+MIGRATION_FLOAT_COLUMNS = ("x", "y", "u", "v", "w", "z")
+
+
+def migration_float_width(rotational_dof: int) -> int:
+    """Columns of the float migration buffer for one molecule model."""
+    return len(MIGRATION_FLOAT_COLUMNS) + rotational_dof
 
 
 class ScratchBuffers:
@@ -141,6 +153,10 @@ class ParticleArrays:
         self._front: Optional[Dict[str, np.ndarray]] = None
         self._back: Optional[Dict[str, np.ndarray]] = None
         self.scratch: Optional[ScratchBuffers] = None
+        # True when the backing buffers are caller-owned (shared-memory
+        # shard segments): capacity is then a hard ceiling, never
+        # silently replaced by fresh heap arrays.
+        self._fixed_capacity: bool = False
 
     # -- construction -----------------------------------------------------
 
@@ -315,6 +331,53 @@ class ParticleArrays:
         self.scratch = ScratchBuffers(slack=slack)
         return self
 
+    def enable_scratch_from(
+        self,
+        front: Dict[str, np.ndarray],
+        back: Dict[str, np.ndarray],
+    ) -> "ParticleArrays":
+        """Re-home every column in caller-provided ping-pong buffer sets.
+
+        The sharded backend allocates each shard's column buffers in
+        shared memory (inherited by the worker process over fork) and
+        hands them in here; thereafter the in-place population
+        operations run against those segments exactly as
+        :meth:`enable_scratch` runs against heap buffers, so the parent
+        can read a quiescent shard's state without any serialization.
+
+        Both dicts must map every :data:`COLUMN_NAMES` entry to an array
+        of one common capacity with the column's dtype and trailing
+        shape.  Unlike heap scratch, the capacity is **fixed**: the
+        population outgrowing it raises instead of silently migrating to
+        private heap arrays (which would break the sharing contract).
+        """
+        if self.scratch_enabled:
+            raise ConfigurationError("scratch buffers already enabled")
+        n = self.n
+        cap = front["x"].shape[0]
+        for name in COLUMN_NAMES:
+            col = getattr(self, name)
+            want = (cap,) + col.shape[1:]
+            for bufset in (front, back):
+                buf = bufset.get(name)
+                if buf is None or buf.shape != want or buf.dtype != col.dtype:
+                    raise ConfigurationError(
+                        f"buffer {name!r} must have shape {want} and dtype "
+                        f"{col.dtype}"
+                    )
+        if cap < n:
+            raise ConfigurationError(
+                f"buffers hold {cap} particles, population has {n}"
+            )
+        self._front = front
+        self._back = back
+        self._fixed_capacity = True
+        for name in COLUMN_NAMES:
+            front[name][:n] = getattr(self, name)
+            setattr(self, name, front[name][:n])
+        self.scratch = ScratchBuffers()
+        return self
+
     @property
     def capacity(self) -> int:
         """Backing capacity (equals ``n`` when scratch is disabled)."""
@@ -322,10 +385,28 @@ class ParticleArrays:
             return self.n
         return self._front["x"].shape[0]
 
+    @property
+    def front_buffers(self) -> Optional[Dict[str, np.ndarray]]:
+        """The live front buffer set (``None`` without scratch).
+
+        Reorders swap front and back per column, so which physical
+        buffer holds a column's current data varies over time; the
+        sharded backend reads this mapping to publish per-column front
+        flags for the parent's shared-memory gather.  Callers must not
+        mutate the returned dict.
+        """
+        return self._front
+
     def _ensure_capacity(self, n_new: int) -> None:
         """Grow both buffer sets to hold ``n_new`` (amortized, rare)."""
         if n_new <= self.capacity:
             return
+        if self._fixed_capacity:
+            raise ConfigurationError(
+                f"population of {n_new} exceeds the fixed shared-memory "
+                f"capacity {self.capacity}; rebuild the backend with a "
+                "larger capacity_factor"
+            )
         n = self.n
         cap = max(int(n_new * 1.3) + 1, 64)
         for name in COLUMN_NAMES:
@@ -424,6 +505,69 @@ class ParticleArrays:
         self._ensure_capacity(n + m)
         for name in COLUMN_NAMES:
             self._front[name][n : n + m] = getattr(other, name)
+            setattr(self, name, self._front[name][: n + m])
+
+    # -- migration pack/unpack (the sharded exchange) ---------------------
+
+    def pack_rows(
+        self,
+        idx: np.ndarray,
+        float_out: np.ndarray,
+        perm_out: np.ndarray,
+    ) -> int:
+        """Copy the particles at ``idx`` into migration buffers.
+
+        Writes the :data:`MIGRATION_FLOAT_COLUMNS` scalars and the
+        ``rot`` components into ``float_out`` and the ``perm`` rows
+        into ``perm_out`` (first ``len(idx)`` rows of each).  Pure
+        float64/int8 copies, so every state field round-trips bitwise
+        through :meth:`append_rows` -- including values quantized to
+        the CM engine's Q8.23 grid.  Returns the row count.
+        """
+        m = int(idx.shape[0])
+        dof = self.rotational_dof
+        if float_out.shape[0] < m or perm_out.shape[0] < m:
+            raise ConfigurationError(
+                f"migration buffer overflow: {m} migrants exceed the "
+                f"buffer capacity {min(float_out.shape[0], perm_out.shape[0])}"
+            )
+        if float_out.shape[1] != migration_float_width(dof):
+            raise ConfigurationError(
+                f"float buffer must have {migration_float_width(dof)} columns"
+            )
+        for c, name in enumerate(MIGRATION_FLOAT_COLUMNS):
+            float_out[:m, c] = getattr(self, name)[idx]
+        base = len(MIGRATION_FLOAT_COLUMNS)
+        float_out[:m, base : base + dof] = self.rot[idx]
+        perm_out[:m] = self.perm[idx]
+        return m
+
+    def append_rows(
+        self,
+        float_in: np.ndarray,
+        perm_in: np.ndarray,
+        m: int,
+    ) -> None:
+        """Append ``m`` migrants from buffers filled by :meth:`pack_rows`.
+
+        Requires scratch backing (the shard populations always have
+        it).  The appended particles' ``cell`` entries are left stale;
+        the step loop's cell-indexing pass overwrites every entry
+        before anything reads them.
+        """
+        if self._front is None:
+            raise ConfigurationError("append_rows requires enable_scratch")
+        if m == 0:
+            return
+        n = self.n
+        dof = self.rotational_dof
+        self._ensure_capacity(n + m)
+        for c, name in enumerate(MIGRATION_FLOAT_COLUMNS):
+            self._front[name][n : n + m] = float_in[:m, c]
+        base = len(MIGRATION_FLOAT_COLUMNS)
+        self._front["rot"][n : n + m] = float_in[:m, base : base + dof]
+        self._front["perm"][n : n + m] = perm_in[:m]
+        for name in COLUMN_NAMES:
             setattr(self, name, self._front[name][: n + m])
 
     @staticmethod

@@ -26,7 +26,6 @@ freestream's mean and variance).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 import numpy as np
 
 from repro.core.collision import collide_adjacent_pairs, collide_pairs

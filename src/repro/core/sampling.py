@@ -16,7 +16,6 @@ reproduce both behaviours for the figure benches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -143,6 +143,142 @@ class StepDiagnostics:
     phase_seconds: Optional[dict] = None
 
 
+class SerialBackend:
+    """In-process execution of the step loop on the whole domain.
+
+    The default backend: one worker (this process) owns every cell and
+    the master RNG stream.  The sharded backend
+    (:class:`repro.parallel.backend.ShardedBackend`) implements the same
+    four-method seam -- ``bind`` / ``step`` / ``gather`` / ``close`` --
+    over slab-decomposed worker processes; :class:`Simulation` only ever
+    talks to the seam.
+    """
+
+    #: Worker count the backend runs with (diagnostic; 1 for serial).
+    n_workers = 1
+
+    def bind(self, sim: "Simulation") -> "SerialBackend":
+        """Attach to a fully constructed simulation (no-op serially)."""
+        return self
+
+    def gather(self, sim: "Simulation") -> None:
+        """Make ``sim.particles``/samplers current (no-op serially)."""
+
+    def close(self) -> None:
+        """Release backend resources (no-op serially)."""
+
+    def step(self, sim: "Simulation", sample: bool = False) -> StepDiagnostics:
+        """Advance ``sim`` by one time step."""
+        cfg = sim.config
+        parts = sim.particles
+        perf = sim.perf
+
+        # 1+2) Collisionless motion, then boundary conditions (may
+        #    rebuild the population arrays).  One perf phase: the paper
+        #    reports "particle motion and boundary interaction" as a
+        #    single 14% line item.  Surface loads accumulate only
+        #    during sampling steps.
+        with perf.phase("motion"):
+            motion.advance(parts)
+            sim.boundaries.surface_sampler = (
+                sim.surface if (sample and sim.surface is not None) else None
+            )
+            parts, bstats = sim.boundaries.apply_rebuilding(
+                parts, sim.reservoir, sim.rng
+            )
+
+        # 3a) Cell indexing + the fused counting sort: one kernel
+        #    yields the sorted order *and* the per-cell histogram the
+        #    selection rule needs (no separate bincount pass).
+        with perf.phase("sort"):
+            assign_cells(parts, cfg.domain)
+            sort_res = sort_by_cell(
+                parts, rng=sim.rng, scale=cfg.sort_scale,
+                n_cells=cfg.domain.n_cells,
+                kernel="counting" if sim.hotpath else "scaled-key",
+            )
+            counts = sort_res.counts
+
+        # 3b) Pairing + the selection rule.
+        with perf.phase("selection"):
+            pairs = even_odd_pairs(parts.cell, scratch=parts.scratch)
+            if parts.scratch is not None:
+                draws = parts.scratch.array("sel_draws", pairs.n_pairs)
+                sim.rng.random(out=draws)
+            else:
+                draws = None
+            selection = select_collisions(
+                parts,
+                pairs,
+                cfg.freestream,
+                cfg.model,
+                counts,
+                volume_fractions=sim._vf_flat,
+                rng=sim.rng,
+                draws=draws,
+            )
+
+        # 4) Collision of selected partners.  Sorted even/odd pairs are
+        #    adjacent rows, so the hot path collides contiguous two-row
+        #    blocks instead of gather/scatter by address.
+        with perf.phase("collision"):
+            if sim.hotpath and pairs.adjacent:
+                collide_adjacent_pairs(
+                    parts,
+                    np.flatnonzero(selection.accept),
+                    rng=sim.rng,
+                    internal_exchange_probability=(
+                        cfg.model.internal_exchange_probability
+                    ),
+                )
+            else:
+                first = pairs.first[selection.accept]
+                second = pairs.second[selection.accept]
+                collide_pairs(
+                    parts,
+                    first,
+                    second,
+                    rng=sim.rng,
+                    internal_exchange_probability=(
+                        cfg.model.internal_exchange_probability
+                    ),
+                )
+
+        # Side work: the reservoir Gaussianizes itself.  Charged to its
+        # own phase -- the paper's four-phase split does not include it.
+        if cfg.reservoir_mix_rounds:
+            with perf.phase("reservoir"):
+                sim.reservoir.mix(sim.rng, rounds=cfg.reservoir_mix_rounds)
+
+        sim.particles = parts
+        sim.step_count += 1
+        if sample:
+            sim.sampler.accumulate(parts)
+            if sim.surface is not None:
+                sim.surface.end_step()
+            for probe in sim.probes:
+                probe.sample(parts)
+
+        cand = pairs.same_cell
+        mean_p = (
+            float(selection.probability[cand].mean()) if cand.any() else 0.0
+        )
+        perf.end_step()
+        return StepDiagnostics(
+            step=sim.step_count,
+            n_flow=parts.n,
+            n_reservoir=sim.reservoir.size,
+            n_candidates=pairs.n_candidates,
+            n_collisions=selection.n_collisions,
+            pairing_efficiency=pairing_efficiency(pairs),
+            mean_collision_probability=mean_p,
+            boundary=bstats,
+            total_energy=parts.total_energy(),
+            momentum_x=float(parts.u.sum()),
+            phase_seconds=perf.last_step_seconds if perf.enabled else None,
+        )
+
+
 class Simulation:
     """The reference wind-tunnel simulation.
 
@@ -152,9 +288,19 @@ class Simulation:
         sim.run(300)                  # transient to steady state
         sim.run(400, sample=True)     # accumulate the time average
         rho = sim.sampler.density_ratio(sim.config.freestream.density)
+
+    ``backend`` selects the execution engine: ``None`` (the default)
+    steps in-process via :class:`SerialBackend`; a
+    :class:`repro.parallel.backend.ShardedBackend` decomposes the grid
+    into x-slabs and steps them on worker processes.
     """
 
-    def __init__(self, config: SimulationConfig, hotpath: bool = True) -> None:
+    def __init__(
+        self,
+        config: SimulationConfig,
+        hotpath: bool = True,
+        backend=None,
+    ) -> None:
         self.config = config
         self.rng = make_rng(config.seed)
         self.step_count = 0
@@ -207,6 +353,10 @@ class Simulation:
             self.particles.enable_scratch()
             self.reservoir.particles.enable_scratch()
         assign_cells(self.particles, config.domain)
+        #: Execution backend (the seam): bound last, once every piece of
+        #: state it may need to decompose or mirror exists.
+        self.backend = backend if backend is not None else SerialBackend()
+        self.backend.bind(self)
 
     # -- construction helpers ---------------------------------------------
 
@@ -251,115 +401,28 @@ class Simulation:
     # -- stepping -----------------------------------------------------------
 
     def step(self, sample: bool = False) -> StepDiagnostics:
-        """Advance the simulation by one time step."""
-        cfg = self.config
-        parts = self.particles
-        perf = self.perf
+        """Advance the simulation by one time step (via the backend)."""
+        return self.backend.step(self, sample=sample)
 
-        # 1+2) Collisionless motion, then boundary conditions (may
-        #    rebuild the population arrays).  One perf phase: the paper
-        #    reports "particle motion and boundary interaction" as a
-        #    single 14% line item.  Surface loads accumulate only
-        #    during sampling steps.
-        with perf.phase("motion"):
-            motion.advance(parts)
-            self.boundaries.surface_sampler = (
-                self.surface if (sample and self.surface is not None) else None
-            )
-            parts, bstats = self.boundaries.apply_rebuilding(
-                parts, self.reservoir, self.rng
-            )
+    def gather(self) -> None:
+        """Synchronize driver-side state with the backend.
 
-        # 3a) Cell indexing + the fused counting sort: one kernel
-        #    yields the sorted order *and* the per-cell histogram the
-        #    selection rule needs (no separate bincount pass).
-        with perf.phase("sort"):
-            assign_cells(parts, cfg.domain)
-            sort_res = sort_by_cell(
-                parts, rng=self.rng, scale=cfg.sort_scale,
-                n_cells=cfg.domain.n_cells,
-                kernel="counting" if self.hotpath else "scaled-key",
-            )
-            counts = sort_res.counts
+        Sharded runs keep the authoritative particle population inside
+        the worker shards; after ``gather()`` the driver's
+        ``self.particles`` (and reservoir) reflect the current global
+        state.  Serial runs are always current, so this is a no-op.
+        """
+        self.backend.gather(self)
 
-        # 3b) Pairing + the selection rule.
-        with perf.phase("selection"):
-            pairs = even_odd_pairs(parts.cell, scratch=parts.scratch)
-            if parts.scratch is not None:
-                draws = parts.scratch.array("sel_draws", pairs.n_pairs)
-                self.rng.random(out=draws)
-            else:
-                draws = None
-            selection = select_collisions(
-                parts,
-                pairs,
-                cfg.freestream,
-                cfg.model,
-                counts,
-                volume_fractions=self._vf_flat,
-                rng=self.rng,
-                draws=draws,
-            )
+    def close(self) -> None:
+        """Shut down the backend (terminates sharded worker processes)."""
+        self.backend.close()
 
-        # 4) Collision of selected partners.  Sorted even/odd pairs are
-        #    adjacent rows, so the hot path collides contiguous two-row
-        #    blocks instead of gather/scatter by address.
-        with perf.phase("collision"):
-            if self.hotpath and pairs.adjacent:
-                collide_adjacent_pairs(
-                    parts,
-                    np.flatnonzero(selection.accept),
-                    rng=self.rng,
-                    internal_exchange_probability=(
-                        cfg.model.internal_exchange_probability
-                    ),
-                )
-            else:
-                first = pairs.first[selection.accept]
-                second = pairs.second[selection.accept]
-                collide_pairs(
-                    parts,
-                    first,
-                    second,
-                    rng=self.rng,
-                    internal_exchange_probability=(
-                        cfg.model.internal_exchange_probability
-                    ),
-                )
+    def __enter__(self) -> "Simulation":
+        return self
 
-        # Side work: the reservoir Gaussianizes itself.  Charged to its
-        # own phase -- the paper's four-phase split does not include it.
-        if cfg.reservoir_mix_rounds:
-            with perf.phase("reservoir"):
-                self.reservoir.mix(self.rng, rounds=cfg.reservoir_mix_rounds)
-
-        self.particles = parts
-        self.step_count += 1
-        if sample:
-            self.sampler.accumulate(parts)
-            if self.surface is not None:
-                self.surface.end_step()
-            for probe in self.probes:
-                probe.sample(parts)
-
-        cand = pairs.same_cell
-        mean_p = (
-            float(selection.probability[cand].mean()) if cand.any() else 0.0
-        )
-        perf.end_step()
-        return StepDiagnostics(
-            step=self.step_count,
-            n_flow=parts.n,
-            n_reservoir=self.reservoir.size,
-            n_candidates=pairs.n_candidates,
-            n_collisions=selection.n_collisions,
-            pairing_efficiency=pairing_efficiency(pairs),
-            mean_collision_probability=mean_p,
-            boundary=bstats,
-            total_energy=parts.total_energy(),
-            momentum_x=float(parts.u.sum()),
-            phase_seconds=perf.last_step_seconds if perf.enabled else None,
-        )
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def run(self, n_steps: int, sample: bool = False) -> StepDiagnostics:
         """Run ``n_steps`` steps; returns the final step's diagnostics."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -31,8 +31,11 @@ from repro.geometry.wedge import Wedge
 from repro.physics.freestream import Freestream
 from repro.physics.molecules import MolecularModel
 
-#: Snapshot format version; bumped on layout changes.
-FORMAT_VERSION = 1
+#: Snapshot format version; bumped on layout changes.  Version 2 adds
+#: the sharded-backend continuation fields (worker count and in-transit
+#: reservoir flux); version-1 archives still load (the fields default
+#: to a serial run's values).
+FORMAT_VERSION = 2
 
 PathLike = Union[str, pathlib.Path]
 
@@ -119,9 +122,34 @@ def _unpack_particles(prefix: str, data) -> ParticleArrays:
 
 
 def save_simulation(sim: Simulation, path: PathLike) -> None:
-    """Write an exact checkpoint of ``sim`` to ``path`` (.npz)."""
+    """Write an exact checkpoint of ``sim`` to ``path`` (.npz).
+
+    Sharded simulations are gathered first (the shard workers hold the
+    authoritative state), and the backend's continuation fields --
+    worker count, in-transit reservoir flux -- are recorded so a
+    restore at the same worker count continues bitwise.
+    """
+    sim.gather()
+    n_workers = getattr(sim.backend, "n_workers", 1)
+    flux = getattr(sim.backend, "pending_flux", 0)
+    # The stateless key of the per-shard RNG streams.  -1 marks a seed
+    # that cannot be serialized (a live Generator / complex
+    # SeedSequence); such snapshots restore serially or as a *new*
+    # statistical realization, never bitwise-sharded.
+    seed = sim.config.seed
+    if seed is None:
+        from repro.rng import DEFAULT_SEED
+
+        shard_seed = DEFAULT_SEED
+    elif isinstance(seed, (int, np.integer)):
+        shard_seed = int(seed)
+    else:
+        shard_seed = -1
     rng_state = json.dumps(sim.rng.bit_generator.state)
     arrays = {
+        "backend_workers": np.array(int(n_workers)),
+        "flux_pending": np.array(int(flux)),
+        "shard_seed": np.array(shard_seed),
         "format_version": np.array(FORMAT_VERSION),
         "config_json": np.array(_config_to_json(sim.config)),
         "rng_state_json": np.array(rng_state),
@@ -135,24 +163,50 @@ def save_simulation(sim: Simulation, path: PathLike) -> None:
         "sampler_e_trans": sim.sampler._e_trans,
         "sampler_e_rot": sim.sampler._e_rot,
     }
+    if sim.surface is not None:
+        # v2: the surface-load accumulators ride along too (v1 dropped
+        # them, so restored runs silently lost their drag averages).
+        arrays["surface_steps"] = np.array(sim.surface._steps)
+        arrays["surface_impulse_x"] = sim.surface._impulse_x
+        arrays["surface_impulse_y"] = sim.surface._impulse_y
+        arrays["surface_hits"] = sim.surface._hits
     arrays.update(_pack_particles("flow", sim.particles))
     arrays.update(_pack_particles("res", sim.reservoir.particles))
     np.savez_compressed(path, **arrays)
 
 
-def load_simulation(path: PathLike) -> Simulation:
+def load_simulation(
+    path: PathLike, workers: Optional[int] = None, processes: bool = True
+) -> Simulation:
     """Reconstruct a simulation from a checkpoint.
 
     The returned simulation continues exactly where the saved one
     stopped: same particles, same reservoir, same plunger phase, same
     RNG stream, same accumulated averages.
+
+    ``workers`` selects the execution backend of the restored run:
+    ``None`` keeps the snapshot's own worker count, ``1`` forces the
+    serial engine, ``>1`` attaches a sharded backend
+    (:class:`repro.parallel.backend.ShardedBackend`) with the saved
+    in-transit reservoir flux.  Continuation is bitwise only at the
+    snapshot's own worker count (the per-shard RNG streams and the
+    slab partition are keyed by it); restoring at a different count is
+    statistically equivalent, not bitwise.
     """
     with np.load(path, allow_pickle=False) as data:
         version = int(data["format_version"])
-        if version != FORMAT_VERSION:
+        if version not in (1, FORMAT_VERSION):
             raise ConfigurationError(
                 f"snapshot format {version} != supported {FORMAT_VERSION}"
             )
+        if version >= 2:
+            saved_workers = int(data["backend_workers"])
+            flux_pending = int(data["flux_pending"])
+            shard_seed = int(data["shard_seed"])
+        else:
+            saved_workers = 1
+            flux_pending = 0
+            shard_seed = -1
         config = _config_from_json(str(data["config_json"]))
         sim = Simulation(config)
         sim.particles = _unpack_particles("flow", data)
@@ -174,4 +228,30 @@ def load_simulation(path: PathLike) -> Simulation:
         sim.sampler._mw[:] = data["sampler_mw"]
         sim.sampler._e_trans[:] = data["sampler_e_trans"]
         sim.sampler._e_rot[:] = data["sampler_e_rot"]
+        if sim.surface is not None and "surface_steps" in data:
+            sim.surface._steps = int(data["surface_steps"])
+            sim.surface._impulse_x[:] = data["surface_impulse_x"]
+            sim.surface._impulse_y[:] = data["surface_impulse_y"]
+            sim.surface._hits[:] = data["surface_hits"]
+
+    n_workers = saved_workers if workers is None else int(workers)
+    if n_workers > 1:
+        import dataclasses
+
+        from repro.parallel.backend import ShardedBackend
+
+        if shard_seed < 0:
+            raise ConfigurationError(
+                "this snapshot carries no shard-stream seed (generator "
+                "seed, or a pre-v2 archive); restore with workers=1"
+            )
+        # The sharded backend keys its per-(shard, step) RNG streams
+        # from config.seed, so the restored configuration must carry
+        # the original stateless seed for bitwise continuation.
+        sim.config = dataclasses.replace(sim.config, seed=shard_seed)
+        backend = ShardedBackend(
+            n_workers, processes=processes, flux_pending=flux_pending
+        )
+        sim.backend = backend
+        backend.bind(sim)
     return sim

@@ -1,0 +1,853 @@
+"""The domain-sharded execution backend.
+
+One worker process per x-slab steps its shard of the wind tunnel; the
+parent drives the step protocol over the four-method backend seam
+(:class:`repro.core.simulation.SerialBackend` documents it).  All bulk
+state -- the shard particle populations (ping-pong column buffers), the
+migration channels, per-shard diagnostics and sampler accumulators --
+lives in shared memory inherited over ``fork``, so the steady-state
+step exchanges no pickled data at all; pipes carry only rare traffic
+(worker tracebacks, the reservoir on an explicit ``gather``).
+
+Each step runs in two phases separated by a worker barrier:
+
+* **Phase A** -- claim the reservoir flux (first shard), collisionless
+  motion, boundary enforcement (the first shard owns the plunger, the
+  last the downstream sink), pack boundary-crossing particles into the
+  outgoing migration channels, backfill-remove them locally.
+* **Phase B** -- append arrivals (left neighbour first, then right),
+  cell indexing, the fused counting sort, pairing + selection,
+  collisions, reservoir mixing (first shard), downstream-flux shipping
+  (last shard), sampling, and the shard's diagnostics row.
+
+Determinism: every worker draws all of a step's random numbers from a
+counter-based stream keyed ``(seed, shard_id, step)``
+(:func:`repro.rng.shard_stream`), and the exchange order is fixed, so a
+run is bitwise reproducible run-to-run at any fixed worker count --
+whether the shards execute as processes or inline (``processes=False``,
+the sequential mode used for tests and single-core hosts).  With
+``n_workers=1`` the backend delegates to the serial engine outright and
+is bitwise identical to it by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core import motion
+from repro.core.boundary import BoundaryStats, WindTunnelBoundaries
+from repro.core.cells import assign_cells
+from repro.core.collision import collide_adjacent_pairs
+from repro.core.pairing import even_odd_pairs
+from repro.core.particles import COLUMN_NAMES, ParticleArrays
+from repro.core.reservoir import Reservoir
+from repro.core.sampling import CellSampler
+from repro.core.selection import select_collisions
+from repro.core.simulation import SerialBackend, StepDiagnostics
+from repro.core.sortstep import sort_by_cell
+from repro.errors import ConfigurationError
+from repro.parallel.exchange import LEFT, RIGHT, MigrationChannels
+from repro.parallel.shard import ShardSlabs
+from repro.rng import shard_stream
+
+# -- control-word layout (shared int64 vector) --------------------------
+
+CTRL_CMD = 0
+CTRL_STEP = 1
+CTRL_SAMPLE = 2
+CTRL_ERROR = 3       # 0 = healthy, else failing shard_id + 1
+CTRL_FLUX = 4        # downstream-exit count in transit to shard 0
+CTRL_WORDS = 5
+
+CMD_IDLE = 0
+CMD_STEP = 1
+CMD_GATHER = 2
+CMD_STOP = 3
+
+MISC_PLUNGER = 0     # plunger face position, published by shard 0
+MISC_WORDS = 1
+
+# -- per-shard diagnostics row (shared float64 matrix) ------------------
+
+(
+    D_NFLOW,
+    D_NRES,
+    D_NPAIRS,
+    D_NCAND,
+    D_NCOLL,
+    D_PROBSUM,
+    D_WALLS,
+    D_WEDGE,
+    D_REMOVED,
+    D_INJECTED,
+    D_CLAMPED,
+    D_PLUNGER,
+    D_ENERGY,
+    D_MOMX,
+    D_T_MOTION,
+    D_T_EXCHANGE,
+    D_T_SORT,
+    D_T_SELECTION,
+    D_T_COLLISION,
+    D_T_RESERVOIR,
+) = range(20)
+NDIAG = 20
+
+#: Worker phases merged into the driver's :class:`repro.perf.PerfLedger`
+#: (summed CPU-seconds across shards; "exchange" is the migration cost
+#: the serial engine does not have).
+PHASE_COLUMNS = (
+    ("motion", D_T_MOTION),
+    ("exchange", D_T_EXCHANGE),
+    ("sort", D_T_SORT),
+    ("selection", D_T_SELECTION),
+    ("collision", D_T_COLLISION),
+    ("reservoir", D_T_RESERVOIR),
+)
+
+
+class ShardWorker:
+    """One shard's step executor (runs in a worker process or inline).
+
+    Owns the shard's boundaries (inlet on the first shard, outlet on
+    the last), its slab bounds, and -- on shard 0 -- the reservoir and
+    the plunger.  The particle population is adopted after construction
+    (:meth:`adopt`) so its columns live in the backend's shared
+    segments.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        n_workers: int,
+        config,
+        slabs: ShardSlabs,
+        channels: MigrationChannels,
+        ctrl: np.ndarray,
+        shared: Dict[str, np.ndarray],
+        vf_flat: np.ndarray,
+        seed,
+    ) -> None:
+        self.shard_id = shard_id
+        self.n_workers = n_workers
+        self.config = config
+        self.domain = config.domain
+        self.channels = channels
+        self.shared = shared
+        self._ctrl = ctrl
+        self._vf_flat = vf_flat
+        self._seed = seed
+        self.x_lo, self.x_hi = slabs.bounds(shard_id)
+        # Guard bounds: a migrant landing beyond the *neighbour's* far
+        # edge would need a channel that does not exist.
+        self._left_guard = slabs.bounds(shard_id - 1)[0] if shard_id > 0 else 0.0
+        self._right_guard = (
+            slabs.bounds(shard_id + 1)[1]
+            if shard_id < n_workers - 1
+            else float(self.domain.nx)
+        )
+        self.boundaries = WindTunnelBoundaries(
+            domain=config.domain,
+            freestream=config.freestream,
+            wedge=config.wedge,
+            plunger_trigger=config.plunger_trigger,
+            has_inlet=(shard_id == 0),
+            has_outlet=(shard_id == n_workers - 1),
+        )
+        #: Only shard 0 holds the reservoir (installed by the backend):
+        #: it pays the plunger withdrawals and runs the mixing;
+        #: downstream deposits arrive from the last shard as a count
+        #: through the shared flux slot (the deposit re-deals particle
+        #: state anyway, so only the count is physical).
+        self.reservoir: Optional[Reservoir] = None
+        self.particles: Optional[ParticleArrays] = None
+        self._counts = np.zeros(config.domain.n_cells, dtype=np.int64)
+        self.sampler = CellSampler(config.domain)
+        samp = shared["samp"][shard_id]
+        self.sampler._count = samp[0]
+        self.sampler._mu = samp[1]
+        self.sampler._mv = samp[2]
+        self.sampler._mw = samp[3]
+        self.sampler._e_trans = samp[4]
+        self.sampler._e_rot = samp[5]
+        self.surface = None
+        if config.wedge is not None and "surf" in shared:
+            from repro.core.surface import SurfaceSampler
+
+            self.surface = SurfaceSampler(
+                config.wedge, n_strips=shared["surf"].shape[2] - 1
+            )
+            self.surface._impulse_x = shared["surf"][shard_id, 0]
+            self.surface._impulse_y = shared["surf"][shard_id, 1]
+            self.surface._hits = shared["surf_hits"][shard_id]
+        self._ref0: Dict[str, np.ndarray] = {}
+        self._ref1: Dict[str, np.ndarray] = {}
+        self._stream: Optional[np.random.Generator] = None
+        self._bstats: Optional[BoundaryStats] = None
+
+    def adopt(
+        self,
+        parts: ParticleArrays,
+        set0: Dict[str, np.ndarray],
+        set1: Dict[str, np.ndarray],
+    ) -> None:
+        """Re-home ``parts`` in the shard's shared ping-pong buffers.
+
+        ``set0``/``set1`` are kept as identity references for the
+        front-flag publication; copies go into the population so the
+        originals stay unmutated by front/back swaps.
+        """
+        parts.enable_scratch_from(dict(set0), dict(set1))
+        self._ref0 = dict(set0)
+        self._ref1 = dict(set1)
+        self.particles = parts
+        self._publish_layout()
+
+    def _publish_layout(self) -> None:
+        """Export the particle count and per-column front flags."""
+        parts = self.particles
+        self.shared["n_parts"][self.shard_id] = parts.n
+        fronts = parts.front_buffers
+        flags = self.shared["front_flags"]
+        for ci, name in enumerate(COLUMN_NAMES):
+            flags[self.shard_id, ci] = (
+                0 if fronts[name] is self._ref0[name] else 1
+            )
+
+    # -- the two step phases --------------------------------------------
+
+    def phase_a(self, step: int, sample: bool) -> None:
+        """Flux claim, motion, boundaries, migration pack + removal."""
+        self._stream = shard_stream(self._seed, self.shard_id, step)
+        stream = self._stream
+        t0 = time.perf_counter()
+        parts = self.particles
+
+        # Shard 0 claims the downstream-exit count the last shard
+        # shipped in the previous step's phase B (the end-of-step
+        # barrier orders the write before this read) and deposits it
+        # into the reservoir.
+        if self.reservoir is not None and self.n_workers > 1:
+            pending = int(self._ctrl[CTRL_FLUX])
+            if pending:
+                self._ctrl[CTRL_FLUX] = 0
+                self.reservoir.deposit(stream, pending)
+
+        motion.advance(parts)
+        self.boundaries.surface_sampler = (
+            self.surface if (sample and self.surface is not None) else None
+        )
+        parts, bstats = self.boundaries.apply_rebuilding(
+            parts, self.reservoir, stream
+        )
+        self.particles = parts
+        self._bstats = bstats
+        t1 = time.perf_counter()
+
+        # Pack boundary-crossers into the outgoing channels, then
+        # backfill them away (the sort re-orders everything anyway).
+        sc = parts.scratch
+        n = parts.n
+        x = parts.x
+        remove = None
+        if self.shard_id > 0:
+            lmask = sc.array("mig_left", n, dtype=bool)
+            np.less(x, self.x_lo, out=lmask)
+            lidx = np.flatnonzero(lmask)
+            if lidx.size and float(x[lidx].min()) < self._left_guard:
+                raise ConfigurationError(
+                    f"shard {self.shard_id}: a particle crossed more than "
+                    "one slab in a single step; use fewer workers (wider "
+                    "slabs) for this flow"
+                )
+            self.channels.ship(parts, lidx, self.shard_id, LEFT)
+            remove = lmask
+        if self.shard_id < self.n_workers - 1:
+            rmask = sc.array("mig_right", n, dtype=bool)
+            np.greater_equal(x, self.x_hi, out=rmask)
+            ridx = np.flatnonzero(rmask)
+            if ridx.size and float(x[ridx].max()) >= self._right_guard:
+                raise ConfigurationError(
+                    f"shard {self.shard_id}: a particle crossed more than "
+                    "one slab in a single step; use fewer workers (wider "
+                    "slabs) for this flow"
+                )
+            self.channels.ship(parts, ridx, self.shard_id, RIGHT)
+            remove = (
+                rmask if remove is None
+                else np.logical_or(remove, rmask, out=remove)
+            )
+        if remove is not None and remove.any():
+            parts.remove_inplace(remove)
+        t2 = time.perf_counter()
+        self._t_motion = t1 - t0
+        self._t_exchange = t2 - t1
+
+    def phase_b(self, step: int, sample: bool) -> None:
+        """Arrivals, sort, selection, collisions, flux ship, publish."""
+        stream = self._stream
+        parts = self.particles
+        cfg = self.config
+        t0 = time.perf_counter()
+        self.channels.receive(parts, self.shard_id)
+        t1 = time.perf_counter()
+
+        assign_cells(parts, self.domain)
+        sort_by_cell(
+            parts,
+            rng=stream,
+            scale=cfg.sort_scale,
+            n_cells=self.domain.n_cells,
+            kernel="counting",
+            counts_out=self._counts,
+        )
+        t2 = time.perf_counter()
+
+        pairs = even_odd_pairs(parts.cell, scratch=parts.scratch)
+        draws = parts.scratch.array("sel_draws", pairs.n_pairs)
+        stream.random(out=draws)
+        selection = select_collisions(
+            parts,
+            pairs,
+            cfg.freestream,
+            cfg.model,
+            self._counts,
+            volume_fractions=self._vf_flat,
+            rng=stream,
+            draws=draws,
+        )
+        t3 = time.perf_counter()
+
+        collide_adjacent_pairs(
+            parts,
+            np.flatnonzero(selection.accept),
+            rng=stream,
+            internal_exchange_probability=(
+                cfg.model.internal_exchange_probability
+            ),
+        )
+        t4 = time.perf_counter()
+
+        if self.reservoir is not None and cfg.reservoir_mix_rounds:
+            self.reservoir.mix(stream, rounds=cfg.reservoir_mix_rounds)
+        # The last shard ships its downstream-exit count toward shard 0
+        # (claimed there at the start of the next step's phase A).
+        if self.n_workers > 1 and self.shard_id == self.n_workers - 1:
+            self._ctrl[CTRL_FLUX] += self._bstats.n_removed_downstream
+        t5 = time.perf_counter()
+
+        if sample:
+            self.sampler.accumulate(parts)
+
+        self._publish_layout()
+        row = self.shared["diag"][self.shard_id]
+        b = self._bstats
+        row[D_NFLOW] = parts.n
+        row[D_NRES] = self.reservoir.size if self.reservoir is not None else 0
+        row[D_NPAIRS] = pairs.n_pairs
+        row[D_NCAND] = pairs.n_candidates
+        row[D_NCOLL] = selection.n_collisions
+        # probability is already zeroed on non-candidates, so the plain
+        # sum is the candidate sum the merged mean needs.
+        row[D_PROBSUM] = float(selection.probability.sum())
+        row[D_WALLS] = b.n_reflected_walls
+        row[D_WEDGE] = b.n_reflected_wedge
+        row[D_REMOVED] = b.n_removed_downstream
+        row[D_INJECTED] = b.n_injected_upstream
+        row[D_CLAMPED] = b.n_clamped
+        row[D_PLUNGER] = float(b.plunger_reset)
+        row[D_ENERGY] = parts.total_energy()
+        row[D_MOMX] = float(parts.u.sum())
+        row[D_T_MOTION] = self._t_motion
+        row[D_T_EXCHANGE] = self._t_exchange + (t1 - t0)
+        row[D_T_SORT] = t2 - t1
+        row[D_T_SELECTION] = t3 - t2
+        row[D_T_COLLISION] = t4 - t3
+        row[D_T_RESERVOIR] = t5 - t4
+        if self.shard_id == 0:
+            self.shared["misc"][MISC_PLUNGER] = self.boundaries.plunger.position
+
+    # -- rare traffic ----------------------------------------------------
+
+    def gather_payload(self) -> Dict[str, np.ndarray]:
+        """Worker-private state the parent cannot see in shared memory."""
+        res = self.reservoir.particles
+        return {
+            "plunger": np.float64(self.boundaries.plunger.position),
+            "res_x": np.ascontiguousarray(res.x),
+            "res_y": np.ascontiguousarray(res.y),
+            "res_u": np.ascontiguousarray(res.u),
+            "res_v": np.ascontiguousarray(res.v),
+            "res_w": np.ascontiguousarray(res.w),
+            "res_rot": np.ascontiguousarray(res.rot),
+            "res_perm": np.ascontiguousarray(res.perm),
+            "res_cell": np.ascontiguousarray(res.cell),
+            "res_z": np.ascontiguousarray(res.z),
+        }
+
+
+def _worker_main(worker, start_b, mid_b, end_b, ctrl, conn) -> None:
+    """Worker-process command loop.
+
+    A failed phase poisons the worker (subsequent phases no-op) but
+    never skips a barrier -- the parent always completes the step,
+    sees the error flag, and raises with the piped traceback.
+    """
+    failed = False
+    while True:
+        start_b.wait()
+        cmd = int(ctrl[CTRL_CMD])
+        if cmd == CMD_STOP:
+            break
+        if cmd == CMD_STEP:
+            step = int(ctrl[CTRL_STEP])
+            sample = bool(ctrl[CTRL_SAMPLE])
+            if not failed:
+                try:
+                    worker.phase_a(step, sample)
+                except BaseException:
+                    failed = True
+                    ctrl[CTRL_ERROR] = worker.shard_id + 1
+                    conn.send(traceback.format_exc())
+            mid_b.wait()
+            if not failed:
+                try:
+                    worker.phase_b(step, sample)
+                except BaseException:
+                    failed = True
+                    ctrl[CTRL_ERROR] = worker.shard_id + 1
+                    conn.send(traceback.format_exc())
+            end_b.wait()
+        elif cmd == CMD_GATHER:
+            if worker.reservoir is not None and not failed:
+                try:
+                    conn.send(worker.gather_payload())
+                except BaseException:
+                    failed = True
+                    ctrl[CTRL_ERROR] = worker.shard_id + 1
+            end_b.wait()
+        else:
+            end_b.wait()
+    conn.close()
+
+
+class ShardedBackend:
+    """Slab-decomposed multi-process execution of the step loop.
+
+    Parameters
+    ----------
+    n_workers:
+        Shard count.  ``1`` delegates to :class:`SerialBackend`
+        outright (bitwise identical to a serial run by construction).
+    processes:
+        ``True`` forks one worker process per shard; ``False`` steps
+        the same shard objects sequentially in-process (bitwise
+        identical results -- the deterministic per-``(shard, step)``
+        RNG streams make execution order irrelevant), useful for tests
+        and single-core hosts.
+    capacity_factor:
+        Shared column-buffer headroom per shard, as a multiple of the
+        bind-time shard population.  The shock can locally compress the
+        flow well above freestream density, so the default is generous;
+        an overflow raises with a message naming this knob.
+    channel_capacity:
+        Migrants per channel per step (default: one shard's worth).
+    flux_pending:
+        Downstream-exit count already in transit at bind time (snapshot
+        restore continuity; 0 for fresh runs).
+    barrier_timeout:
+        Seconds the parent waits on the step barriers before declaring
+        the worker pool wedged.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        processes: bool = True,
+        capacity_factor: float = 3.0,
+        channel_capacity: Optional[int] = None,
+        flux_pending: int = 0,
+        barrier_timeout: float = 300.0,
+    ) -> None:
+        if n_workers < 1:
+            raise ConfigurationError("n_workers must be >= 1")
+        if capacity_factor < 1.0:
+            raise ConfigurationError("capacity_factor must be >= 1")
+        if flux_pending < 0:
+            raise ConfigurationError("flux_pending must be non-negative")
+        self.n_workers = n_workers
+        self._processes = bool(processes)
+        self._capacity_factor = float(capacity_factor)
+        self._channel_capacity = channel_capacity
+        self._flux_pending0 = int(flux_pending)
+        self._barrier_timeout = float(barrier_timeout)
+        self._serial = SerialBackend() if n_workers == 1 else None
+        self._bound = False
+        self._closed = False
+        self._procs: List = []
+        self._pipes: List = []
+        self._workers: List[ShardWorker] = []
+
+    # -- seam: bind -----------------------------------------------------
+
+    def bind(self, sim) -> "ShardedBackend":
+        """Decompose ``sim``'s state into shards and start the pool."""
+        if self._serial is not None:
+            self._serial.bind(sim)
+            return self
+        if self._bound:
+            raise ConfigurationError("backend is already bound")
+        if not sim.hotpath:
+            raise ConfigurationError(
+                "the sharded backend requires the hot-path kernels "
+                "(Simulation(..., hotpath=True))"
+            )
+        cfg = sim.config
+        if isinstance(cfg.seed, np.random.Generator):
+            raise ConfigurationError(
+                "sharded runs need a stateless seed (int or SeedSequence) "
+                "to key the per-shard RNG streams"
+            )
+        W = self.n_workers
+        self._slabs = ShardSlabs.split(cfg.domain.nx, W)
+
+        ctx = None
+        if self._processes:
+            try:
+                ctx = mp.get_context("fork")
+            except ValueError:
+                raise ConfigurationError(
+                    "the 'fork' start method is unavailable on this "
+                    "platform; use ShardedBackend(..., processes=False)"
+                ) from None
+        alloc = self._make_alloc(ctx)
+
+        n_global = sim.particles.n
+        n_cells = cfg.domain.n_cells
+        self._ctrl = alloc((CTRL_WORDS,), np.int64)
+        self._ctrl[CTRL_FLUX] = self._flux_pending0
+        self._misc = alloc((MISC_WORDS,), np.float64)
+        self._misc[MISC_PLUNGER] = sim.boundaries.plunger.position
+        shared: Dict[str, np.ndarray] = {
+            "n_parts": alloc((W,), np.int64),
+            "front_flags": alloc((W, len(COLUMN_NAMES)), np.int8),
+            "diag": alloc((W, NDIAG), np.float64),
+            "samp": alloc((W, 6, n_cells), np.float64),
+            "misc": self._misc,
+        }
+        if sim.surface is not None:
+            ns = sim.surface.n_strips
+            shared["surf"] = alloc((W, 2, ns + 1), np.float64)
+            shared["surf_hits"] = alloc((W, ns + 1), np.int64)
+        self._shared = shared
+
+        rdof = cfg.model.rotational_dof
+        chan_cap = self._channel_capacity or max(2048, n_global // W)
+        self._channels = MigrationChannels(W, rdof, chan_cap, alloc)
+
+        # Stable partition by x: gather + re-bind round-trips exactly.
+        order, splits = self._slabs.partition_order(sim.particles.x)
+        self._set0: List[Dict[str, np.ndarray]] = []
+        self._set1: List[Dict[str, np.ndarray]] = []
+        self._workers = []
+        for k in range(W):
+            seg = sim.particles.select(order[splits[k] : splits[k + 1]])
+            cap_k = max(
+                512,
+                int(self._capacity_factor * max(seg.n, n_global // W)),
+            )
+            set0: Dict[str, np.ndarray] = {}
+            set1: Dict[str, np.ndarray] = {}
+            for name in COLUMN_NAMES:
+                col = getattr(seg, name)
+                shape = (cap_k,) + col.shape[1:]
+                set0[name] = alloc(shape, col.dtype)
+                set1[name] = alloc(shape, col.dtype)
+            w = ShardWorker(
+                shard_id=k,
+                n_workers=W,
+                config=cfg,
+                slabs=self._slabs,
+                channels=self._channels,
+                ctrl=self._ctrl,
+                shared=shared,
+                vf_flat=sim._vf_flat,
+                seed=cfg.seed,
+            )
+            w.adopt(seg, set0, set1)
+            self._set0.append(set0)
+            self._set1.append(set1)
+            self._workers.append(w)
+        # Shard 0 inherits the reservoir and the live plunger phase.
+        self._workers[0].reservoir = sim.reservoir
+        self._workers[0].boundaries.plunger.position = (
+            sim.boundaries.plunger.position
+        )
+
+        # Baselines so gather *adds* worker accumulation to whatever the
+        # driver's samplers already held (snapshot restores).
+        s = sim.sampler
+        self._samp_base = np.stack(
+            [s._count, s._mu, s._mv, s._mw, s._e_trans, s._e_rot]
+        ).copy()
+        self._samp_steps0 = s._steps
+        if sim.surface is not None:
+            self._surf_base = np.stack(
+                [sim.surface._impulse_x, sim.surface._impulse_y]
+            ).copy()
+            self._surf_hits_base = sim.surface._hits.copy()
+            self._surf_steps0 = sim.surface._steps
+        self._sample_steps = 0
+
+        if self._processes:
+            self._start_barrier = ctx.Barrier(W + 1)
+            self._mid_barrier = ctx.Barrier(W)
+            self._end_barrier = ctx.Barrier(W + 1)
+            self._pipes = []
+            self._procs = []
+            for w in self._workers:
+                recv_end, send_end = ctx.Pipe(duplex=False)
+                p = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        w,
+                        self._start_barrier,
+                        self._mid_barrier,
+                        self._end_barrier,
+                        self._ctrl,
+                        send_end,
+                    ),
+                    daemon=True,
+                )
+                p.start()
+                send_end.close()
+                self._pipes.append(recv_end)
+                self._procs.append(p)
+        self._bound = True
+        return self
+
+    def _make_alloc(self, ctx):
+        """Shared-memory (process mode) or heap (inline) allocator."""
+        if ctx is None:
+            return lambda shape, dtype: np.zeros(shape, dtype=dtype)
+
+        def alloc(shape, dtype):
+            dt = np.dtype(dtype)
+            count = int(np.prod(shape))
+            raw = ctx.RawArray("b", max(count, 1) * dt.itemsize)
+            return np.frombuffer(raw, dtype=dt, count=count).reshape(shape)
+
+        return alloc
+
+    # -- seam: step -----------------------------------------------------
+
+    def step(self, sim, sample: bool = False) -> StepDiagnostics:
+        """Advance every shard one step and merge the diagnostics."""
+        if self._serial is not None:
+            return self._serial.step(sim, sample=sample)
+        if not self._bound or self._closed:
+            raise ConfigurationError("backend is not bound (or closed)")
+        step_idx = sim.step_count
+        if self._processes:
+            self._ctrl[CTRL_CMD] = CMD_STEP
+            self._ctrl[CTRL_STEP] = step_idx
+            self._ctrl[CTRL_SAMPLE] = int(sample)
+            self._await(self._start_barrier)
+            self._await(self._end_barrier)
+            if self._ctrl[CTRL_ERROR]:
+                self._raise_worker_error()
+        else:
+            for w in self._workers:
+                w.phase_a(step_idx, sample)
+            for w in self._workers:
+                w.phase_b(step_idx, sample)
+        sim.step_count += 1
+        if sample:
+            self._sample_steps += 1
+        return self._merge_diagnostics(sim)
+
+    def _await(self, barrier) -> None:
+        try:
+            barrier.wait(timeout=self._barrier_timeout)
+        except Exception:
+            dead = [
+                (w.shard_id, p.exitcode)
+                for w, p in zip(self._workers, self._procs)
+                if not p.is_alive()
+            ]
+            self._closed = True
+            for p in self._procs:
+                if p.is_alive():
+                    p.terminate()
+            raise RuntimeError(
+                "sharded step barrier failed; dead workers (shard, "
+                f"exitcode): {dead or 'none -- barrier timed out'}"
+            ) from None
+
+    def _raise_worker_error(self) -> None:
+        shard = int(self._ctrl[CTRL_ERROR]) - 1
+        tracebacks = []
+        for k, pipe in enumerate(self._pipes):
+            try:
+                while pipe.poll(0.5):
+                    tracebacks.append(f"[shard {k}]\n{pipe.recv()}")
+            except (EOFError, OSError):
+                pass
+        detail = "\n".join(tracebacks) or "(no traceback received)"
+        raise RuntimeError(
+            f"worker for shard {shard} failed:\n{detail}"
+        )
+
+    def _merge_diagnostics(self, sim) -> StepDiagnostics:
+        d = self._shared["diag"]
+        n_pairs = int(d[:, D_NPAIRS].sum())
+        n_cand = int(d[:, D_NCAND].sum())
+        bstats = BoundaryStats(
+            n_reflected_walls=int(d[:, D_WALLS].sum()),
+            n_reflected_wedge=int(d[:, D_WEDGE].sum()),
+            n_removed_downstream=int(d[:, D_REMOVED].sum()),
+            n_injected_upstream=int(d[:, D_INJECTED].sum()),
+            n_clamped=int(d[:, D_CLAMPED].sum()),
+            plunger_reset=bool(d[0, D_PLUNGER]),
+        )
+        for name, col in PHASE_COLUMNS:
+            sim.perf.record(name, float(d[:, col].sum()))
+        sim.perf.end_step()
+        return StepDiagnostics(
+            step=sim.step_count,
+            n_flow=int(d[:, D_NFLOW].sum()),
+            n_reservoir=int(d[0, D_NRES]),
+            n_candidates=n_cand,
+            n_collisions=int(d[:, D_NCOLL].sum()),
+            pairing_efficiency=(n_cand / n_pairs) if n_pairs else 0.0,
+            mean_collision_probability=(
+                float(d[:, D_PROBSUM].sum()) / n_cand if n_cand else 0.0
+            ),
+            boundary=bstats,
+            total_energy=float(d[:, D_ENERGY].sum()),
+            momentum_x=float(d[:, D_MOMX].sum()),
+            phase_seconds=(
+                sim.perf.last_step_seconds if sim.perf.enabled else None
+            ),
+        )
+
+    # -- seam: gather ---------------------------------------------------
+
+    @property
+    def pending_flux(self) -> int:
+        """Downstream-exit count in transit toward shard 0's reservoir."""
+        if self._serial is not None:
+            return 0
+        return int(self._ctrl[CTRL_FLUX])
+
+    def gather(self, sim) -> None:
+        """Mirror the authoritative shard state back into the driver."""
+        if self._serial is not None:
+            return
+        if not self._bound or self._closed:
+            raise ConfigurationError("backend is not bound (or closed)")
+        # Flow population: concatenate the shard segments in shard
+        # order from whichever shared buffer is each column's front.
+        full: Optional[ParticleArrays] = None
+        flags = self._shared["front_flags"]
+        for k in range(self.n_workers):
+            nk = int(self._shared["n_parts"][k])
+            cols = {}
+            for ci, name in enumerate(COLUMN_NAMES):
+                src = (self._set0[k] if flags[k, ci] == 0 else self._set1[k])
+                cols[name] = src[name][:nk].copy()
+            seg = ParticleArrays(**cols)
+            full = seg if full is None else ParticleArrays.concatenate(full, seg)
+        if sim.hotpath:
+            full.enable_scratch()
+        sim.particles = full
+
+        # Reservoir + plunger live in worker 0's process memory.
+        if self._processes:
+            self._ctrl[CTRL_CMD] = CMD_GATHER
+            self._await(self._start_barrier)
+            payload = self._recv_payload(self._pipes[0])
+            self._await(self._end_barrier)
+            if self._ctrl[CTRL_ERROR]:
+                self._raise_worker_error()
+            res = ParticleArrays(
+                x=payload["res_x"],
+                y=payload["res_y"],
+                u=payload["res_u"],
+                v=payload["res_v"],
+                w=payload["res_w"],
+                rot=payload["res_rot"],
+                perm=payload["res_perm"],
+                cell=payload["res_cell"],
+                z=payload["res_z"],
+            )
+            plunger = float(payload["plunger"])
+        else:
+            w0 = self._workers[0]
+            res = w0.reservoir.particles.copy()
+            plunger = w0.boundaries.plunger.position
+        if sim.hotpath:
+            res.enable_scratch()
+        sim.reservoir.particles = res
+        sim.boundaries.plunger.position = plunger
+
+        # Samplers: restored baseline + the shared per-shard sums.
+        s = sim.sampler
+        merged = self._samp_base + self._shared["samp"].sum(axis=0)
+        s._count[:] = merged[0]
+        s._mu[:] = merged[1]
+        s._mv[:] = merged[2]
+        s._mw[:] = merged[3]
+        s._e_trans[:] = merged[4]
+        s._e_rot[:] = merged[5]
+        s._steps = self._samp_steps0 + self._sample_steps
+        if sim.surface is not None and "surf" in self._shared:
+            surf = self._surf_base + self._shared["surf"].sum(axis=0)
+            sim.surface._impulse_x[:] = surf[0]
+            sim.surface._impulse_y[:] = surf[1]
+            sim.surface._hits[:] = (
+                self._surf_hits_base + self._shared["surf_hits"].sum(axis=0)
+            )
+            sim.surface._steps = self._surf_steps0 + self._sample_steps
+
+    def _recv_payload(self, pipe):
+        deadline = time.monotonic() + self._barrier_timeout
+        while time.monotonic() < deadline:
+            if pipe.poll(0.25):
+                return pipe.recv()
+            if self._ctrl[CTRL_ERROR]:
+                self._await(self._end_barrier)
+                self._raise_worker_error()
+        raise RuntimeError("timed out waiting for the gather payload")
+
+    # -- seam: close ----------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the worker pool (idempotent; inline mode is a no-op)."""
+        if self._serial is not None or self._closed:
+            self._closed = True
+            return
+        self._closed = True
+        if self._processes and self._procs:
+            try:
+                self._ctrl[CTRL_CMD] = CMD_STOP
+                self._start_barrier.wait(timeout=5.0)
+            except Exception:
+                pass
+            for p in self._procs:
+                p.join(timeout=5.0)
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=5.0)
+            for pipe in self._pipes:
+                try:
+                    pipe.close()
+                except OSError:
+                    pass
+            self._procs = []
+            self._pipes = []

@@ -1,0 +1,107 @@
+"""Slab decomposition of the cell grid for sharded execution.
+
+The tunnel is cut into ``n_workers`` contiguous x-slabs of (nearly)
+equal cell width.  Slab boundaries sit on integer cell columns, so
+every grid cell -- and therefore every particle after boundary
+enforcement -- belongs to exactly one shard, and the selection rule's
+per-cell machinery runs unchanged inside each shard.
+
+This mirrors the paper's processor decomposition: where the CM-2
+assigns one virtual processor per particle and lets the sort migrate
+particle state between physical processors, the shard decomposition
+assigns one worker per slab and migrates the few boundary-crossing
+particles explicitly each step (see :mod:`repro.parallel.exchange`).
+X-slabs (rather than 2-D tiles) keep every shard's migration pattern a
+two-neighbour exchange and match the wind tunnel's streamwise flow:
+the mean drift crosses slab faces, the transverse motion never does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Minimum slab width, cells.  A particle must never out-run its
+#: neighbouring slab in one step (the exchange only wires adjacent
+#: shards); molecular speeds in the validation regime are O(1) cell
+#: per step, so two cells of slab width is already a 2x guard band.
+MIN_SLAB_WIDTH = 2
+
+
+@dataclass(frozen=True)
+class ShardSlabs:
+    """Contiguous x-slab decomposition of an ``nx``-column grid.
+
+    Attributes
+    ----------
+    nx:
+        Total grid columns being decomposed.
+    edges:
+        Integer cell-column boundaries, length ``n_workers + 1``:
+        shard ``k`` owns columns (and x positions) in
+        ``[edges[k], edges[k+1])``.
+    """
+
+    nx: int
+    edges: Tuple[int, ...]
+
+    @classmethod
+    def split(cls, nx: int, n_workers: int) -> "ShardSlabs":
+        """Evenly decompose ``nx`` columns into ``n_workers`` slabs."""
+        if n_workers < 1:
+            raise ConfigurationError("n_workers must be >= 1")
+        if nx < n_workers * MIN_SLAB_WIDTH:
+            raise ConfigurationError(
+                f"{nx} columns cannot host {n_workers} shards of at least "
+                f"{MIN_SLAB_WIDTH} cells each"
+            )
+        edges = tuple(
+            int(round(k * nx / n_workers)) for k in range(n_workers + 1)
+        )
+        return cls(nx=nx, edges=edges)
+
+    def __post_init__(self) -> None:
+        if len(self.edges) < 2 or self.edges[0] != 0 or self.edges[-1] != self.nx:
+            raise ConfigurationError("edges must span [0, nx]")
+        widths = np.diff(self.edges)
+        if (widths < MIN_SLAB_WIDTH).any():
+            raise ConfigurationError(
+                f"every slab needs >= {MIN_SLAB_WIDTH} cell columns, got "
+                f"widths {widths.tolist()}"
+            )
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.edges) - 1
+
+    def bounds(self, shard_id: int) -> Tuple[float, float]:
+        """``[x_lo, x_hi)`` extent of one slab, in cell widths."""
+        return float(self.edges[shard_id]), float(self.edges[shard_id + 1])
+
+    def shard_of(self, x: np.ndarray) -> np.ndarray:
+        """Owning shard of each x position (clipped into the grid)."""
+        # searchsorted('right') maps x in [edges[k], edges[k+1]) to k+1;
+        # the clip folds upstream/downstream stragglers (x < 0 or
+        # x >= nx, which only boundary enforcement may later remove)
+        # into the first/last shard.
+        idx = np.searchsorted(np.asarray(self.edges), x, side="right") - 1
+        return np.clip(idx, 0, self.n_workers - 1)
+
+    def partition_order(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Stable partition of positions into shard-contiguous order.
+
+        Returns ``(order, splits)``: applying ``order`` groups the
+        particles by shard (relative order within a shard preserved --
+        this is what makes a gather/re-partition round-trip exact), and
+        ``splits[k]`` is the first index of shard ``k``'s run in the
+        ordered arrays (length ``n_workers + 1``).
+        """
+        shard = self.shard_of(x)
+        order = np.argsort(shard, kind="stable")
+        splits = np.searchsorted(shard, np.arange(self.n_workers + 1),
+                                 sorter=order)
+        return order, splits

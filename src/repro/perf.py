@@ -67,6 +67,19 @@ class PerfLedger:
             self._current[name] = self._current.get(name, 0.0) + dt
             self._seconds[name] = self._seconds.get(name, 0.0) + dt
 
+    def record(self, name: str, seconds: float) -> None:
+        """Charge externally measured ``seconds`` to phase ``name``.
+
+        The sharded backend times phases inside worker processes and
+        merges the per-shard ledgers into the driver's ledger through
+        this method (summed CPU-seconds per phase, so the paper-style
+        four-phase split still reports globally).
+        """
+        if not self.enabled:
+            return
+        self._current[name] = self._current.get(name, 0.0) + seconds
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+
     def end_step(self) -> None:
         """Close out one time step (freezes that step's phase split)."""
         self._steps += 1

@@ -19,7 +19,7 @@ The reproduction needs two kinds of randomness:
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Union
 
 import numpy as np
 
@@ -65,6 +65,38 @@ def spawn_streams(seed: SeedLike, n: int) -> list:
     else:
         ss = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def shard_stream(
+    seed: SeedLike, shard_id: int, step: int
+) -> np.random.Generator:
+    """Counter-based stream for one ``(seed, shard_id, step)`` triple.
+
+    The sharded execution backend gives every domain shard a fresh
+    generator each time step, keyed -- not advanced -- by where and when
+    it runs: the Philox bit generator is counter-based, so the stream is
+    a pure function of ``(seed, shard_id, step)`` with no sequential
+    state to ship between processes or save in checkpoints.  Streams for
+    distinct keys are disjoint segments of one 2**256 counter space
+    (``shard_id`` and ``step`` occupy the two high counter words; a
+    single step never draws anywhere near the 2**128 values that would
+    overflow into a neighbouring key), which makes any worker count
+    run-to-run reproducible and independent of barrier arrival order.
+    """
+    if isinstance(seed, np.random.Generator):
+        raise ValueError(
+            "shard_stream needs a stateless seed (int or SeedSequence), "
+            "not a live Generator"
+        )
+    if shard_id < 0 or step < 0:
+        raise ValueError("shard_id and step must be non-negative")
+    if seed is None:
+        seed = DEFAULT_SEED
+    if not isinstance(seed, np.random.SeedSequence):
+        seed = np.random.SeedSequence(int(seed))
+    key = seed.generate_state(2, np.uint64)
+    counter = np.array([0, 0, shard_id, step], dtype=np.uint64)
+    return np.random.Generator(np.random.Philox(key=key, counter=counter))
 
 
 def random_signs(rng: np.random.Generator, shape) -> np.ndarray:

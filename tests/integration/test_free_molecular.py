@@ -17,6 +17,8 @@ from repro.geometry.wedge import Wedge
 from repro.physics import theory
 from repro.physics.freestream import Freestream
 
+pytestmark = pytest.mark.slow
+
 
 class TestTheoryFormula:
     def test_static_gas_limit(self):

@@ -26,6 +26,8 @@ from repro.geometry.domain import Domain
 from repro.geometry.wedge import Wedge
 from repro.physics.freestream import Freestream
 
+pytestmark = pytest.mark.perf
+
 
 def _wedge_config(density, seed):
     return SimulationConfig(

@@ -14,6 +14,8 @@ from repro.geometry.domain import Domain
 from repro.geometry.wedge import Wedge
 from repro.physics.freestream import Freestream
 
+pytestmark = pytest.mark.slow
+
 SEEDS = (101, 202, 303)
 
 

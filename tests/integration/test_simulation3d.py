@@ -12,6 +12,8 @@ from repro.geometry.domain3d import Domain3D
 from repro.geometry.wedge import Wedge
 from repro.physics.freestream import Freestream
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture
 def fs():

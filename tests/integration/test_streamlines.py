@@ -19,6 +19,9 @@ from repro.physics.freestream import Freestream
 from repro.rng import make_rng
 
 
+pytestmark = pytest.mark.slow
+
+
 def uniform_sampler(domain, angle_deg=0.0, n=40_000, seed=3):
     """A sampler filled with a uniform stream at the given direction."""
     rng = make_rng(seed)

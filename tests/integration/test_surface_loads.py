@@ -16,6 +16,9 @@ from repro.geometry.wedge import Wedge
 from repro.physics.freestream import Freestream
 
 
+pytestmark = pytest.mark.slow
+
+
 @pytest.fixture(scope="module")
 def loaded_run():
     cfg = SimulationConfig(

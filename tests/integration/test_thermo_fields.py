@@ -14,6 +14,8 @@ from repro.physics import theory
 from repro.physics.freestream import Freestream
 from repro.physics.molecules import MolecularModel
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def wedge_run():

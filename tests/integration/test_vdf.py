@@ -13,6 +13,8 @@ from repro.geometry.wedge import Wedge
 from repro.physics import theory
 from repro.physics.freestream import Freestream
 
+pytestmark = pytest.mark.slow
+
 
 class TestProbeMechanics:
     def test_window_selection(self, rng):

@@ -24,6 +24,9 @@ from repro.physics import theory
 from repro.physics.freestream import Freestream
 
 
+pytestmark = pytest.mark.slow
+
+
 @pytest.fixture(scope="module")
 def continuum_run():
     cfg = SimulationConfig(

@@ -1,0 +1,74 @@
+"""Properties of one sharded step versus one serial step.
+
+The sharded backend claims a strong invariant: sharding is an
+*implementation* of the serial step, not an approximation of it.  After
+one step from a common initial state,
+
+* no particle is created or destroyed -- the serial population equals
+  the sharded flow population plus the reservoir plus any reservoir
+  flux still in transit between shards, and
+* the flow field is untouched -- the per-cell occupancy histogram of
+  the sharded run equals the serial one exactly (particle *order* may
+  differ across the shard boundary; physics may not).
+
+Checked across random seeds with the in-process (inline) execution
+mode, which is bitwise identical to the process mode (see
+``tests/integration/test_sharded.py``) and cheap enough for Hypothesis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.geometry.domain import Domain
+from repro.geometry.wedge import Wedge
+from repro.parallel.backend import ShardedBackend
+from repro.physics.freestream import Freestream
+
+pytestmark = pytest.mark.sharded
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _config(seed: int) -> SimulationConfig:
+    return SimulationConfig(
+        domain=Domain(nx=24, ny=12),
+        freestream=Freestream(mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=8.0),
+        wedge=Wedge(x_leading=6.0, base=7.0, angle_deg=30.0),
+        seed=seed,
+    )
+
+
+class TestOneStepTwoWorkers:
+    @given(seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_count_conserved_and_histogram_matches_serial(self, seed):
+        serial = Simulation(_config(seed))
+        sharded = Simulation(
+            _config(seed), backend=ShardedBackend(2, processes=False)
+        )
+        try:
+            n_cells = serial.config.domain.n_cells
+            total0 = serial.particles.n + serial.reservoir.particles.n
+            serial.step()
+            sharded.step()
+            sharded.gather()
+
+            total = (
+                sharded.particles.n
+                + sharded.reservoir.particles.n
+                + sharded.backend.pending_flux
+            )
+            assert total == serial.particles.n + serial.reservoir.particles.n
+            # The serial engine conserves particles; sharding must too.
+            assert total == total0
+
+            hist_serial = np.bincount(serial.particles.cell, minlength=n_cells)
+            hist_sharded = np.bincount(
+                sharded.particles.cell, minlength=n_cells
+            )
+            assert np.array_equal(hist_serial, hist_sharded)
+        finally:
+            sharded.close()

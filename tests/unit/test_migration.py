@@ -1,0 +1,144 @@
+"""Unit tests of the shard-migration pack/unpack path.
+
+The migration buffers carry a particle's full physical + computational
+state between shards as raw block copies (no pickling).  These tests
+pin the bitwise contract: what one worker packs, the neighbour unpacks
+*identically*, including values that sit exactly on Q8.23 lattice
+points (the paper's fixed-point grid), where any rounding in transit
+would be visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.particles import (
+    MIGRATION_FLOAT_COLUMNS,
+    ParticleArrays,
+    migration_float_width,
+)
+from repro.errors import ConfigurationError
+from repro.fixedpoint.qformat import Q8_23
+from repro.parallel.exchange import LEFT, RIGHT, MigrationChannels
+
+
+def _heap_alloc(shape, dtype):
+    return np.zeros(shape, dtype=dtype)
+
+
+def _population(rng: np.random.Generator, n: int, dof: int = 2) -> ParticleArrays:
+    """A population whose floats sit exactly on the Q8.23 lattice."""
+    k = 3 + dof
+
+    def q(lo, hi, size):
+        # Quantize to Q8.23 so the values are exactly representable in
+        # both the fixed-point words and (a fortiori) in float64; a
+        # bitwise round-trip check on these is meaningful, not vacuous.
+        return Q8_23.decode(Q8_23.encode(rng.uniform(lo, hi, size=size)))
+
+    perm = np.empty((n, k), dtype=np.int8)
+    for i in range(n):
+        perm[i] = rng.permutation(k).astype(np.int8)
+    parts = ParticleArrays(
+        x=q(0.0, 30.0, n),
+        y=q(0.0, 20.0, n),
+        u=q(-2.0, 2.0, n),
+        v=q(-2.0, 2.0, n),
+        w=q(-2.0, 2.0, n),
+        rot=q(-2.0, 2.0, (n, dof)),
+        perm=perm,
+        cell=rng.integers(0, 600, size=n).astype(np.int64),
+        z=q(0.0, 1.0, n),
+    )
+    parts.enable_scratch()
+    return parts
+
+
+class TestPackAppendRoundTrip:
+    def test_bitwise_round_trip(self, rng):
+        dof = 2
+        src = _population(rng, 200, dof)
+        idx = np.flatnonzero(rng.random(src.n) < 0.3)
+        width = migration_float_width(dof)
+        fb = np.zeros((src.n, width))
+        pb = np.zeros((src.n, 3 + dof), dtype=np.int8)
+
+        # Capture the expected rows before any mutation.
+        expect = {c: getattr(src, c)[idx].copy() for c in MIGRATION_FLOAT_COLUMNS}
+        expect["rot"] = src.rot[idx].copy()
+        expect["perm"] = src.perm[idx].copy()
+
+        m = src.pack_rows(idx, fb, pb)
+        assert m == idx.size
+
+        dst = _population(rng, 50, dof)
+        n0 = dst.n
+        dst.append_rows(fb, pb, m)
+        assert dst.n == n0 + m
+
+        for c in MIGRATION_FLOAT_COLUMNS:
+            got = getattr(dst, c)[n0:]
+            assert np.array_equal(got, expect[c]), f"column {c} not bitwise"
+        assert np.array_equal(dst.rot[n0:], expect["rot"])
+        assert np.array_equal(dst.perm[n0:], expect["perm"])
+
+    def test_empty_pack(self, rng):
+        src = _population(rng, 10)
+        fb = np.zeros((10, migration_float_width(2)))
+        pb = np.zeros((10, 5), dtype=np.int8)
+        assert src.pack_rows(np.empty(0, dtype=np.intp), fb, pb) == 0
+        dst = _population(rng, 7)
+        dst.append_rows(fb, pb, 0)
+        assert dst.n == 7
+
+    def test_pack_overflow_raises(self, rng):
+        src = _population(rng, 20)
+        fb = np.zeros((4, migration_float_width(2)))
+        pb = np.zeros((4, 5), dtype=np.int8)
+        with pytest.raises(ConfigurationError, match="overflow"):
+            src.pack_rows(np.arange(10), fb, pb)
+
+    def test_pack_rejects_wrong_width(self, rng):
+        src = _population(rng, 20)
+        fb = np.zeros((20, migration_float_width(2) + 1))
+        pb = np.zeros((20, 5), dtype=np.int8)
+        with pytest.raises(ConfigurationError):
+            src.pack_rows(np.arange(5), fb, pb)
+
+
+class TestMigrationChannels:
+    def test_adjacency_wiring(self):
+        ch = MigrationChannels(3, rotational_dof=2, capacity=16, alloc=_heap_alloc)
+        assert ch.dest(0, LEFT) is None
+        assert ch.dest(0, RIGHT) == 1
+        assert ch.dest(2, RIGHT) is None
+        assert ch.dest(1, LEFT) == 0
+        with pytest.raises(ConfigurationError):
+            ch.buffers(0, LEFT)
+
+    def test_ship_receive_preserves_state_and_order(self, rng):
+        ch = MigrationChannels(3, rotational_dof=2, capacity=64, alloc=_heap_alloc)
+        left_src = _population(rng, 40)
+        right_src = _population(rng, 40)
+        li = np.arange(5)
+        ri = np.arange(7)
+        expect_x = np.concatenate([left_src.x[li], right_src.x[ri]])
+
+        assert ch.ship(left_src, li, 0, RIGHT) == 5
+        assert ch.ship(right_src, ri, 2, LEFT) == 7
+
+        dst = _population(rng, 12)
+        n0 = dst.n
+        assert ch.receive(dst, 1) == 12
+        # Fixed arrival order: left neighbour's shipment first.
+        assert np.array_equal(dst.x[n0:], expect_x)
+
+    def test_counts_overwritten_each_step(self, rng):
+        ch = MigrationChannels(2, rotational_dof=2, capacity=8, alloc=_heap_alloc)
+        src = _population(rng, 20)
+        ch.ship(src, np.arange(6), 0, RIGHT)
+        ch.ship(src, np.empty(0, dtype=np.intp), 0, RIGHT)
+        dst = _population(rng, 3)
+        assert ch.receive(dst, 1) == 0
+        assert dst.n == 3
