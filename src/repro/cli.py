@@ -50,6 +50,26 @@ def _build_parser() -> argparse.ArgumentParser:
     w.add_argument("--workers", type=int, default=1,
                    help="shard the tunnel into N x-slabs stepped by N "
                         "worker processes (1 = serial engine)")
+    w.add_argument("--supervised", action="store_true",
+                   help="run under the fault-tolerant supervisor "
+                        "(periodic checkpoints, invariant audits, "
+                        "automatic crash recovery)")
+    w.add_argument("--checkpoint-every", type=int, default=50,
+                   dest="checkpoint_every",
+                   help="supervised mode: checkpoint cadence in steps")
+    w.add_argument("--audit-every", type=int, default=50,
+                   dest="audit_every",
+                   help="supervised mode: invariant-audit cadence in steps")
+    w.add_argument("--max-retries", type=int, default=3, dest="max_retries",
+                   help="supervised mode: recoveries allowed before "
+                        "giving up")
+    w.add_argument("--run-dir", type=str, default=None, dest="run_dir",
+                   help="supervised mode: checkpoint/journal directory "
+                        "(default runs/wedge-<seed>)")
+    w.add_argument("--resume", type=str, default=None, metavar="DIR",
+                   help="resume a supervised run from its run directory "
+                        "and finish the stored schedule (ignores the "
+                        "configuration flags)")
     w.add_argument("--contours", action="store_true",
                    help="print ASCII density contours")
     w.add_argument("--save", type=str, default=None,
@@ -73,7 +93,13 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_wedge(args: argparse.Namespace) -> int:
+def _wedge_report(sim, args: argparse.Namespace) -> int:
+    """Print the validation metrics of a finished wedge run.
+
+    Everything is derived from ``sim.config`` (not the CLI flags) so
+    the same report serves fresh runs and ``--resume``-d ones, whose
+    geometry lives in the checkpoint rather than the command line.
+    """
     from repro.analysis.contour import render_ascii, save_field_npz
     from repro.analysis.shock import (
         fit_shock_angle,
@@ -81,11 +107,79 @@ def _cmd_wedge(args: argparse.Namespace) -> int:
         shock_thickness,
         wake_floor_ridge,
     )
+    from repro.errors import ReproError
+    from repro.physics import theory
+
+    config = sim.config
+    wedge = config.wedge
+    mach = config.freestream.mach
+    rho = sim.density_ratio_field()
+    if wedge is not None:
+        beta = theory.shock_angle_deg(mach, wedge.angle_deg)
+        ratio = theory.oblique_shock_density_ratio(
+            mach, math.radians(wedge.angle_deg)
+        )
+        try:
+            fit = fit_shock_angle(rho, wedge)
+            plateau = post_shock_plateau(rho, wedge, fit)
+            thick = shock_thickness(rho, wedge, fit, plateau=plateau)
+            print(
+                f"shock angle     : {fit.angle_deg:7.2f} deg "
+                f"(theory {beta:.2f})"
+            )
+            print(f"density ratio   : {plateau:7.2f}     (theory {ratio:.2f})")
+            print(f"shock thickness : {thick:7.2f} cells")
+        except ReproError as exc:
+            print(
+                f"shock metrology unavailable ({exc}); increase --density, "
+                "--transient or --average"
+            )
+        try:
+            ridge = wake_floor_ridge(rho, wedge, config.domain)
+            print(f"wake floor ridge: {ridge:7.2f}     (> 1: wake shock present)")
+        except ReproError:
+            pass
+    if args.contours:
+        print(render_ascii(rho))
+    if args.save:
+        save_field_npz(args.save, density_ratio=rho)
+        print(f"field written to {args.save}")
+    if args.vtk:
+        from repro.analysis import thermo
+        from repro.io.vtk import write_vtk_fields
+
+        write_vtk_fields(
+            args.vtk,
+            density_ratio=rho,
+            temperature_ratio=thermo.temperature_ratio_field(
+                sim.sampler, config.freestream
+            ),
+            mach=thermo.mach_field(sim.sampler, config.freestream),
+        )
+        print(f"VTK fields written to {args.vtk}")
+    return 0
+
+
+def _cmd_wedge(args: argparse.Namespace) -> int:
     from repro.core.simulation import Simulation, SimulationConfig
     from repro.geometry.domain import Domain
     from repro.geometry.wedge import Wedge
-    from repro.physics import theory
     from repro.physics.freestream import Freestream
+
+    if args.resume:
+        from repro.resilience import SupervisedRun
+
+        run = SupervisedRun.resume(args.resume)
+        print(
+            f"resumed {args.resume} at step {run.sim.step_count}, "
+            f"{run.sim.backend.n_workers} worker(s)"
+        )
+        t0 = time.time()
+        with run:
+            run.run_schedule()
+            run.sim.gather()
+        print(f"finished at step {run.sim.step_count} in {time.time()-t0:.0f} s")
+        return _wedge_report(run.sim, args)
 
     domain = Domain(args.nx, args.ny)
     wedge = Wedge(
@@ -113,55 +207,35 @@ def _cmd_wedge(args: argparse.Namespace) -> int:
         f"{args.workers} worker(s)"
     )
     t0 = time.time()
-    sim.run(args.transient)
-    sim.run(args.average, sample=True)
+    if args.supervised:
+        from repro.resilience import SupervisedRun
+
+        run_dir = args.run_dir or f"runs/wedge-{args.seed}"
+        run = SupervisedRun(
+            sim,
+            run_dir,
+            checkpoint_every=args.checkpoint_every,
+            audit_every=args.audit_every,
+            max_retries=args.max_retries,
+        )
+        with run:
+            run.run_schedule(
+                [(args.transient, False), (args.average, True)]
+            )
+            sim = run.sim  # recovery may have replaced the simulation
+            sim.gather()
+        n_rec = sum(
+            1 for e in run.journal.events if e.get("kind") == "recovery"
+        )
+        extra = f", {n_rec} recoveries" if n_rec else ""
+        print(f"supervised run dir: {run_dir}{extra}")
+    else:
+        sim.run(args.transient)
+        sim.run(args.average, sample=True)
+        sim.gather()
+        sim.close()
     print(f"ran {args.transient}+{args.average} steps in {time.time()-t0:.0f} s")
-    sim.gather()
-    sim.close()
-
-    rho = sim.density_ratio_field()
-    beta = theory.shock_angle_deg(args.mach, args.angle)
-    ratio = theory.oblique_shock_density_ratio(
-        args.mach, math.radians(args.angle)
-    )
-    from repro.errors import ReproError
-
-    try:
-        fit = fit_shock_angle(rho, wedge)
-        plateau = post_shock_plateau(rho, wedge, fit)
-        thick = shock_thickness(rho, wedge, fit, plateau=plateau)
-        print(f"shock angle     : {fit.angle_deg:7.2f} deg (theory {beta:.2f})")
-        print(f"density ratio   : {plateau:7.2f}     (theory {ratio:.2f})")
-        print(f"shock thickness : {thick:7.2f} cells")
-    except ReproError as exc:
-        print(
-            f"shock metrology unavailable ({exc}); increase --density, "
-            "--transient or --average"
-        )
-    try:
-        ridge = wake_floor_ridge(rho, wedge, domain)
-        print(f"wake floor ridge: {ridge:7.2f}     (> 1: wake shock present)")
-    except ReproError:
-        pass
-    if args.contours:
-        print(render_ascii(rho))
-    if args.save:
-        save_field_npz(args.save, density_ratio=rho)
-        print(f"field written to {args.save}")
-    if args.vtk:
-        from repro.analysis import thermo
-        from repro.io.vtk import write_vtk_fields
-
-        write_vtk_fields(
-            args.vtk,
-            density_ratio=rho,
-            temperature_ratio=thermo.temperature_ratio_field(
-                sim.sampler, config.freestream
-            ),
-            mach=thermo.mach_field(sim.sampler, config.freestream),
-        )
-        print(f"VTK fields written to {args.vtk}")
-    return 0
+    return _wedge_report(sim, args)
 
 
 def _cmd_heatbath(args: argparse.Namespace) -> int:

@@ -141,6 +141,10 @@ class StepDiagnostics:
     #: Wall-clock seconds by phase for this step (from the perf ledger;
     #: ``None`` when the ledger is disabled).
     phase_seconds: Optional[dict] = None
+    #: Recovery events absorbed on the way to this (completed) step --
+    #: a tuple of :class:`repro.resilience.supervisor.RecoveryEvent` --
+    #: set only by supervised execution; ``None`` on an undisturbed step.
+    recovery: Optional[tuple] = None
 
 
 class SerialBackend:

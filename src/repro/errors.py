@@ -36,3 +36,73 @@ class MachineError(ReproError):
 
 class GeometryError(ConfigurationError):
     """Invalid geometric configuration (wedge outside domain, etc.)."""
+
+
+class ResilienceError(ReproError):
+    """Base class of the parallel-fault taxonomy.
+
+    Every fault the supervised execution layer can detect -- worker
+    death, hangs, exchange overflows, invariant violations, corrupted
+    checkpoints -- derives from this class and carries structured
+    context (step, shard, counts, ...) in :attr:`context`, so a
+    supervisor can decide on a recovery action without parsing message
+    strings.
+    """
+
+    def __init__(self, message: str, **context) -> None:
+        self.context = {k: v for k, v in context.items() if v is not None}
+        if self.context:
+            detail = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.context.items())
+            )
+            message = f"{message} [{detail}]"
+        super().__init__(message)
+
+
+class WorkerCrashError(ResilienceError):
+    """A shard worker died or raised during a sharded step.
+
+    Covers both a dead worker process (the step barrier breaks and the
+    parent finds exited children) and an exception piped out of a
+    still-running worker; ``context`` distinguishes them (``dead`` vs
+    ``traceback``).
+    """
+
+
+class WorkerHangError(ResilienceError):
+    """A sharded step or gather timed out with every worker still alive.
+
+    The signature of a wedged (not crashed) pool: a deadlock, an
+    unkillable syscall, or a pathologically slow shard.  Distinct from
+    :class:`WorkerCrashError` so callers can choose a different remedy
+    (kill + respawn vs plain respawn).
+    """
+
+
+class ExchangeOverflowError(ResilienceError):
+    """A migration channel received more particles than its capacity.
+
+    The shared-memory exchange buffers are sized at bind time; a local
+    density spike (or an injected fault) that overflows one must fail
+    loudly rather than silently dropping particles.
+    """
+
+
+class InvariantViolationError(ResilienceError):
+    """A runtime audit found physically impossible simulation state.
+
+    Raised by :class:`repro.resilience.audit.InvariantAuditor` when a
+    conservation or range invariant breaks: particle-count accounting,
+    non-finite state, fixed-point range, cell-index consistency, slab
+    containment, or migration-channel conservation.
+    """
+
+
+class CheckpointCorruptionError(ResilienceError):
+    """A checkpoint archive is truncated, unreadable, or incomplete."""
+
+
+class RecoveryExhaustedError(ResilienceError):
+    """Supervised recovery gave up: retry budget spent or no checkpoint
+    restorable.  Carries the retry count and the last underlying fault
+    in ``context``."""

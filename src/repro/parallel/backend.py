@@ -33,9 +33,10 @@ is bitwise identical to it by construction.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import time
 import traceback
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,7 +51,11 @@ from repro.core.sampling import CellSampler
 from repro.core.selection import select_collisions
 from repro.core.simulation import SerialBackend, StepDiagnostics
 from repro.core.sortstep import sort_by_cell
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    WorkerCrashError,
+    WorkerHangError,
+)
 from repro.parallel.exchange import LEFT, RIGHT, MigrationChannels
 from repro.parallel.shard import ShardSlabs
 from repro.rng import shard_stream
@@ -132,6 +137,7 @@ class ShardWorker:
         shared: Dict[str, np.ndarray],
         vf_flat: np.ndarray,
         seed,
+        fault_plan=None,
     ) -> None:
         self.shard_id = shard_id
         self.n_workers = n_workers
@@ -189,6 +195,11 @@ class ShardWorker:
         self._ref1: Dict[str, np.ndarray] = {}
         self._stream: Optional[np.random.Generator] = None
         self._bstats: Optional[BoundaryStats] = None
+        #: Deterministic fault injection (None on production runs).
+        self._fault_plan = fault_plan
+        #: True inside a forked worker process (set by ``_worker_main``);
+        #: selects hard process death vs a plain raise for ``crash``.
+        self._forked = False
 
     def adopt(
         self,
@@ -221,8 +232,40 @@ class ShardWorker:
 
     # -- the two step phases --------------------------------------------
 
+    def _inject_faults(self, step: int) -> None:
+        """Fire any armed worker fault for ``(step, shard)``.
+
+        Called only when a plan is installed; production runs skip even
+        the call (one ``is None`` test in :meth:`phase_a`).
+        """
+        plan = self._fault_plan
+        self.channels._step = step
+        if plan.take("exception", step, self.shard_id) is not None:
+            raise WorkerCrashError(
+                "injected worker exception",
+                step=step,
+                shard=self.shard_id,
+                injected=True,
+            )
+        if plan.take("crash", step, self.shard_id) is not None:
+            if self._forked:
+                # A real process death: skips the barriers, leaves the
+                # parent to find the corpse via the barrier timeout.
+                os._exit(17)
+            raise WorkerCrashError(
+                "injected worker crash (inline mode)",
+                step=step,
+                shard=self.shard_id,
+                injected=True,
+            )
+        hang = plan.take("hang", step, self.shard_id)
+        if hang is not None:
+            time.sleep(hang.seconds)
+
     def phase_a(self, step: int, sample: bool) -> None:
         """Flux claim, motion, boundaries, migration pack + removal."""
+        if self._fault_plan is not None:
+            self._inject_faults(step)
         self._stream = shard_stream(self._seed, self.shard_id, step)
         stream = self._stream
         t0 = time.perf_counter()
@@ -398,6 +441,7 @@ def _worker_main(worker, start_b, mid_b, end_b, ctrl, conn) -> None:
     never skips a barrier -- the parent always completes the step,
     sees the error flag, and raises with the piped traceback.
     """
+    worker._forked = True
     failed = False
     while True:
         start_b.wait()
@@ -463,6 +507,11 @@ class ShardedBackend:
     barrier_timeout:
         Seconds the parent waits on the step barriers before declaring
         the worker pool wedged.
+    fault_plan:
+        Optional :class:`repro.resilience.faults.FaultPlan` arming the
+        deterministic fault-injection hooks in the workers and the
+        migration channels.  ``None`` (the default) leaves every hook
+        dormant at zero overhead.
     """
 
     def __init__(
@@ -473,6 +522,7 @@ class ShardedBackend:
         channel_capacity: Optional[int] = None,
         flux_pending: int = 0,
         barrier_timeout: float = 300.0,
+        fault_plan=None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError("n_workers must be >= 1")
@@ -486,6 +536,7 @@ class ShardedBackend:
         self._channel_capacity = channel_capacity
         self._flux_pending0 = int(flux_pending)
         self._barrier_timeout = float(barrier_timeout)
+        self.fault_plan = fault_plan
         self._serial = SerialBackend() if n_workers == 1 else None
         self._bound = False
         self._closed = False
@@ -548,7 +599,9 @@ class ShardedBackend:
 
         rdof = cfg.model.rotational_dof
         chan_cap = self._channel_capacity or max(2048, n_global // W)
-        self._channels = MigrationChannels(W, rdof, chan_cap, alloc)
+        self._channels = MigrationChannels(
+            W, rdof, chan_cap, alloc, fault_plan=self.fault_plan
+        )
 
         # Stable partition by x: gather + re-bind round-trips exactly.
         order, splits = self._slabs.partition_order(sim.particles.x)
@@ -578,6 +631,7 @@ class ShardedBackend:
                 shared=shared,
                 vf_flat=sim._vf_flat,
                 seed=cfg.seed,
+                fault_plan=self.fault_plan,
             )
             w.adopt(seg, set0, set1)
             self._set0.append(set0)
@@ -657,10 +711,10 @@ class ShardedBackend:
             self._ctrl[CTRL_CMD] = CMD_STEP
             self._ctrl[CTRL_STEP] = step_idx
             self._ctrl[CTRL_SAMPLE] = int(sample)
-            self._await(self._start_barrier)
-            self._await(self._end_barrier)
+            self._await(self._start_barrier, step=step_idx)
+            self._await(self._end_barrier, step=step_idx)
             if self._ctrl[CTRL_ERROR]:
-                self._raise_worker_error()
+                self._raise_worker_error(step=step_idx)
         else:
             for w in self._workers:
                 w.phase_a(step_idx, sample)
@@ -671,7 +725,15 @@ class ShardedBackend:
             self._sample_steps += 1
         return self._merge_diagnostics(sim)
 
-    def _await(self, barrier) -> None:
+    def _await(self, barrier, step: Optional[int] = None) -> None:
+        """Wait on a step barrier; on failure, diagnose and raise typed.
+
+        A broken or timed-out barrier with dead children is a crash
+        (:class:`WorkerCrashError`, listing the corpses); with every
+        worker alive it is a hang (:class:`WorkerHangError`).  Either
+        way the pool is unrecoverable, so it is torn down hard before
+        raising -- the supervisor respawns from a checkpoint.
+        """
         try:
             barrier.wait(timeout=self._barrier_timeout)
         except Exception:
@@ -680,16 +742,21 @@ class ShardedBackend:
                 for w, p in zip(self._workers, self._procs)
                 if not p.is_alive()
             ]
-            self._closed = True
-            for p in self._procs:
-                if p.is_alive():
-                    p.terminate()
-            raise RuntimeError(
-                "sharded step barrier failed; dead workers (shard, "
-                f"exitcode): {dead or 'none -- barrier timed out'}"
+            self._emergency_stop()
+            if dead:
+                raise WorkerCrashError(
+                    "worker process died during a sharded step barrier",
+                    step=step,
+                    dead=dead,
+                ) from None
+            raise WorkerHangError(
+                "sharded step barrier timed out with all workers alive",
+                step=step,
+                timeout_s=self._barrier_timeout,
+                n_workers=self.n_workers,
             ) from None
 
-    def _raise_worker_error(self) -> None:
+    def _raise_worker_error(self, step: Optional[int] = None) -> None:
         shard = int(self._ctrl[CTRL_ERROR]) - 1
         tracebacks = []
         for k, pipe in enumerate(self._pipes):
@@ -699,8 +766,10 @@ class ShardedBackend:
             except (EOFError, OSError):
                 pass
         detail = "\n".join(tracebacks) or "(no traceback received)"
-        raise RuntimeError(
-            f"worker for shard {shard} failed:\n{detail}"
+        raise WorkerCrashError(
+            f"worker for shard {shard} failed:\n{detail}",
+            step=step,
+            shard=shard,
         )
 
     def _merge_diagnostics(self, sim) -> StepDiagnostics:
@@ -823,12 +892,58 @@ class ShardedBackend:
             if self._ctrl[CTRL_ERROR]:
                 self._await(self._end_barrier)
                 self._raise_worker_error()
-        raise RuntimeError("timed out waiting for the gather payload")
+        self._emergency_stop()
+        raise WorkerHangError(
+            "timed out waiting for the gather payload",
+            timeout_s=self._barrier_timeout,
+        )
+
+    # -- introspection for the invariant auditor ------------------------
+
+    def shard_columns(self) -> Optional[List[Dict[str, np.ndarray]]]:
+        """Zero-copy views of every shard's live particle columns.
+
+        The auditor reads the authoritative shard state straight out of
+        the shared ping-pong buffers (front buffer, first ``n_k`` rows
+        per column) without a gather.  ``None`` for the 1-worker serial
+        delegate, where ``sim.particles`` is already authoritative.
+        """
+        if self._serial is not None or not self._bound:
+            return None
+        flags = self._shared["front_flags"]
+        views: List[Dict[str, np.ndarray]] = []
+        for k in range(self.n_workers):
+            nk = int(self._shared["n_parts"][k])
+            cols = {}
+            for ci, name in enumerate(COLUMN_NAMES):
+                src = self._set0[k] if flags[k, ci] == 0 else self._set1[k]
+                cols[name] = src[name][:nk]
+            views.append(cols)
+        return views
+
+    def shard_slab_bounds(self) -> Optional[List[Tuple[float, float]]]:
+        """Per-shard ``(x_lo, x_hi)`` slab bounds (containment audit)."""
+        if self._serial is not None or not self._bound:
+            return None
+        return [self._slabs.bounds(k) for k in range(self.n_workers)]
+
+    def migration_state(self) -> Optional[Tuple[np.ndarray, int]]:
+        """``(counts, capacity)`` of the migration channels, for audit."""
+        if self._serial is not None or not self._bound:
+            return None
+        return np.asarray(self._channels.counts), self._channels.capacity
 
     # -- seam: close ----------------------------------------------------
 
     def close(self) -> None:
-        """Stop the worker pool (idempotent; inline mode is a no-op)."""
+        """Stop the worker pool (idempotent; inline mode is a no-op).
+
+        Escalates per worker: cooperative STOP handshake, then
+        ``join``, then ``terminate`` (SIGTERM), then ``kill`` (SIGKILL)
+        -- so a wedged or fault-injected worker can never leak past an
+        exception path (``Simulation`` is a context manager and calls
+        this from ``__exit__``).
+        """
         if self._serial is not None or self._closed:
             self._closed = True
             return
@@ -839,15 +954,32 @@ class ShardedBackend:
                 self._start_barrier.wait(timeout=5.0)
             except Exception:
                 pass
-            for p in self._procs:
+            self._shutdown_procs()
+
+    def _emergency_stop(self) -> None:
+        """Tear the pool down without the cooperative handshake.
+
+        Used when the step protocol itself failed (broken barrier, dead
+        or wedged workers): the STOP command could never be delivered,
+        so go straight to the join -> terminate -> kill escalation.
+        """
+        self._closed = True
+        if self._processes and self._procs:
+            self._shutdown_procs(join_first=0.5)
+
+    def _shutdown_procs(self, join_first: float = 5.0) -> None:
+        for p in self._procs:
+            p.join(timeout=join_first)
+            if p.is_alive():
+                p.terminate()
                 p.join(timeout=5.0)
-                if p.is_alive():
-                    p.terminate()
-                    p.join(timeout=5.0)
-            for pipe in self._pipes:
-                try:
-                    pipe.close()
-                except OSError:
-                    pass
-            self._procs = []
-            self._pipes = []
+            if p.is_alive():
+                p.kill()
+                p.join(timeout=5.0)
+        for pipe in self._pipes:
+            try:
+                pipe.close()
+            except OSError:
+                pass
+        self._procs = []
+        self._pipes = []

@@ -18,12 +18,12 @@ than teleporting particles.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.core.particles import ParticleArrays, migration_float_width
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExchangeOverflowError
 
 #: Directions of a shard's outgoing channels.
 LEFT = 0
@@ -49,6 +49,11 @@ class MigrationChannels:
         ``alloc(shape, dtype) -> ndarray`` supplying the backing memory:
         shared-memory segments for process workers, plain heap arrays
         for the in-process (inline) mode.
+    fault_plan:
+        Optional :class:`repro.resilience.faults.FaultPlan`; arms the
+        ``overflow`` and ``corrupt`` injection points in :meth:`ship`.
+        ``None`` (the default) keeps the hot path fault-free at the
+        cost of one ``is None`` test per ship.
     """
 
     def __init__(
@@ -57,6 +62,7 @@ class MigrationChannels:
         rotational_dof: int,
         capacity: int,
         alloc: Callable[[Tuple[int, ...], np.dtype], np.ndarray],
+        fault_plan=None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError("n_workers must be >= 1")
@@ -66,6 +72,11 @@ class MigrationChannels:
         k = 3 + rotational_dof
         self.n_workers = n_workers
         self.capacity = capacity
+        self._fault_plan = fault_plan
+        #: Step currently being exchanged; published by the workers
+        #: (only when a plan is armed) so the injection points can key
+        #: faults by ``(step, shard)``.
+        self._step: Optional[int] = None
         #: Migrant count per (source shard, direction), written by the
         #: source in phase A, read by the destination in phase B.
         self.counts = alloc((n_workers, 2), np.int64)
@@ -106,9 +117,37 @@ class MigrationChannels:
         departed rows away).  Overwrites the channel's previous count,
         so every existing channel must be shipped every step -- zero
         migrants included -- to keep the counts current.
+
+        Raises :class:`~repro.errors.ExchangeOverflowError` when the
+        migrant count exceeds the channel capacity (sized at bind time;
+        the error names the knob), carrying the step/shard/counts
+        context a supervisor needs.
         """
         fb, pb = self.buffers(src, direction)
+        cap = min(self.capacity, fb.shape[0])
+        fault = None
+        if self._fault_plan is not None and idx.shape[0] > 0:
+            fault = self._fault_plan.take("overflow", self._step or 0, src)
+            if fault is not None:
+                cap = fault.capacity
+        if idx.shape[0] > cap:
+            raise ExchangeOverflowError(
+                "migration channel overflow; raise "
+                "ShardedBackend(channel_capacity=...) for this flow",
+                step=self._step,
+                shard=src,
+                direction="left" if direction == LEFT else "right",
+                migrants=int(idx.shape[0]),
+                capacity=cap,
+                injected=fault is not None,
+            )
         m = parts.pack_rows(idx, fb, pb)
+        if self._fault_plan is not None and m > 0:
+            f = self._fault_plan.take("corrupt", self._step or 0, src)
+            if f is not None:
+                fb[:m] = self._fault_plan.corruption_pattern(
+                    self._step or 0, src, fb[:m].shape
+                )
         self.counts[src, direction] = m
         return m
 

@@ -1,0 +1,311 @@
+"""Runtime invariant auditing: catch silent corruption, loudly.
+
+A production solver's worst failure mode is not a crash -- it is
+quietly wrong numbers marching on for thousands of steps.  The
+:class:`InvariantAuditor` runs O(N) checks over the *authoritative*
+particle state (the shard workers' shared buffers for sharded runs, no
+gather needed) at a configurable cadence, each encoding a conservation
+or validity property of the paper's algorithm:
+
+* **count accounting** -- the flow population changes only through the
+  boundary fluxes: ``N(t) = N(t0) + injected - removed`` exactly, since
+  collisions are pairwise and migration conserves particles globally.
+* **finite state** -- positions, velocities and rotational components
+  are finite (NaN/inf is how a corrupted exchange payload propagates).
+* **fixed-point range** -- positions inside the tunnel and velocity
+  magnitudes below the Q8.23 representable bound; the CM-2 engine
+  would overflow on anything outside it.
+* **cell consistency** -- every particle's stored cell index equals
+  the index recomputed from its position (the sort, pairing and
+  selection all trust this column).
+* **slab containment** (sharded) -- every particle sits inside its
+  owner shard's x-slab; a violation means migration lost or
+  teleported a particle.
+* **channel conservation** (sharded) -- migration-channel counts are
+  within ``[0, capacity]``.
+* **energy drift** -- total (kinetic + rotational) energy moves less
+  than a relative tolerance between audits; boundary fluxes exchange
+  energy with the reservoir so this is a drift band, not an equality,
+  but it catches runaway corruption (1e30 velocities) immediately.
+
+Violations raise :class:`repro.errors.InvariantViolationError` with
+structured context (step, shard, the check, the numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.particles import COLUMN_NAMES
+from repro.errors import InvariantViolationError
+
+#: Columns whose values must be finite after every step.
+_FINITE_COLUMNS = ("x", "y", "u", "v", "w", "z")
+#: Velocity columns bounded by the fixed-point range.
+_VELOCITY_COLUMNS = ("u", "v", "w")
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """Which invariants to audit, and how tightly.
+
+    ``velocity_limit`` defaults to the Q8.23 magnitude bound (256 cell
+    widths per step): the paper's fixed-point engine cannot represent
+    anything faster, so a larger value is corruption by definition.
+    ``energy_drift_tol`` is deliberately loose (boundary fluxes move
+    real energy in and out); it exists to catch blow-ups, not to
+    police stochastic drift.
+    """
+
+    check_counts: bool = True
+    check_finite: bool = True
+    check_range: bool = True
+    check_cells: bool = True
+    check_slabs: bool = True
+    check_channels: bool = True
+    check_energy: bool = True
+    velocity_limit: float = 256.0
+    position_tolerance: float = 1e-9
+    energy_drift_tol: float = 0.5
+
+
+class InvariantAuditor:
+    """Cadenced invariant checks over the live particle state.
+
+    Usage from a step loop (the supervisor does exactly this)::
+
+        auditor = InvariantAuditor()
+        auditor.rebase(sim)
+        for _ in range(n_steps):
+            diag = sim.step()
+            auditor.observe(diag)          # O(1): flux accounting
+            if sim.step_count % cadence == 0:
+                auditor.audit(sim)         # O(N): the real checks
+
+    ``rebase`` must be called again whenever the simulation state is
+    replaced outside the step loop (snapshot restore, recovery).
+    """
+
+    def __init__(self, config: Optional[AuditConfig] = None) -> None:
+        self.config = config or AuditConfig()
+        self._n_base: Optional[int] = None
+        self._energy_base: Optional[float] = None
+        self._injected = 0
+        self._removed = 0
+        self._last_step: Optional[int] = None
+        #: Total audits run (cheap observability for tests/benchmarks).
+        self.audits_run = 0
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def rebase(self, sim) -> None:
+        """Re-prime the accounting baselines from ``sim``'s live state."""
+        views = self._views(sim)
+        self._n_base = sum(int(v["x"].shape[0]) for v in views)
+        self._energy_base = self._total_energy(views)
+        self._injected = 0
+        self._removed = 0
+        self._last_step = sim.step_count
+
+    def observe(self, diag) -> None:
+        """Accumulate one step's boundary fluxes (O(1) per step)."""
+        b = diag.boundary
+        self._injected += b.n_injected_upstream
+        self._removed += b.n_removed_downstream
+        self._last_step = diag.step
+
+    # -- the audit ------------------------------------------------------
+
+    def audit(self, sim) -> None:
+        """Run every enabled O(N) check; raise on the first violation."""
+        if self._n_base is None:
+            self.rebase(sim)
+            return
+        cfg = self.config
+        step = sim.step_count
+        views = self._views(sim)
+        self.audits_run += 1
+
+        if cfg.check_counts:
+            n_now = sum(int(v["x"].shape[0]) for v in views)
+            expected = self._n_base + self._injected - self._removed
+            if n_now != expected:
+                raise InvariantViolationError(
+                    "particle-count accounting broken: flow population "
+                    "does not match the boundary-flux ledger",
+                    step=step,
+                    check="counts",
+                    n_now=n_now,
+                    n_expected=expected,
+                    injected=self._injected,
+                    removed=self._removed,
+                )
+
+        domain = sim.config.domain
+        slabs = self._slab_bounds(sim)
+        for shard, v in enumerate(views):
+            ctx = {"step": step}
+            if len(views) > 1:
+                ctx["shard"] = shard
+            if cfg.check_finite:
+                for name in _FINITE_COLUMNS:
+                    col = v[name]
+                    if col.size and not np.isfinite(col).all():
+                        bad = int(np.count_nonzero(~np.isfinite(col)))
+                        raise InvariantViolationError(
+                            f"non-finite values in particle column "
+                            f"{name!r}",
+                            check="finite",
+                            column=name,
+                            n_bad=bad,
+                            **ctx,
+                        )
+                rot = v["rot"]
+                if rot.size and not np.isfinite(rot).all():
+                    raise InvariantViolationError(
+                        "non-finite rotational state",
+                        check="finite",
+                        column="rot",
+                        **ctx,
+                    )
+            if cfg.check_range:
+                self._check_range(v, domain, ctx)
+            if cfg.check_cells and v["x"].size:
+                expected_cell = domain.cell_index(v["x"], v["y"])
+                if not np.array_equal(v["cell"], expected_cell):
+                    bad = int(np.count_nonzero(v["cell"] != expected_cell))
+                    raise InvariantViolationError(
+                        "cell-index column inconsistent with particle "
+                        "positions",
+                        check="cells",
+                        n_bad=bad,
+                        **ctx,
+                    )
+            if cfg.check_slabs and slabs is not None and v["x"].size:
+                lo, hi = slabs[shard]
+                tol = cfg.position_tolerance
+                x = v["x"]
+                if float(x.min()) < lo - tol or float(x.max()) >= hi + tol:
+                    raise InvariantViolationError(
+                        "particle outside its owner shard's slab "
+                        "(migration lost or teleported it)",
+                        check="slabs",
+                        slab_lo=lo,
+                        slab_hi=hi,
+                        x_min=float(x.min()),
+                        x_max=float(x.max()),
+                        **ctx,
+                    )
+
+        if cfg.check_channels:
+            state = self._migration_state(sim)
+            if state is not None:
+                counts, capacity = state
+                if counts.min() < 0 or counts.max() > capacity:
+                    raise InvariantViolationError(
+                        "migration-channel count outside [0, capacity]",
+                        step=step,
+                        check="channels",
+                        count_min=int(counts.min()),
+                        count_max=int(counts.max()),
+                        capacity=int(capacity),
+                    )
+
+        if cfg.check_energy:
+            energy = self._total_energy(views)
+            base = self._energy_base
+            if base is not None:
+                drift = abs(energy - base) / max(abs(base), 1.0)
+                if drift > cfg.energy_drift_tol:
+                    raise InvariantViolationError(
+                        "total energy drifted past the audit tolerance",
+                        step=step,
+                        check="energy",
+                        energy=energy,
+                        baseline=base,
+                        drift=drift,
+                        tolerance=cfg.energy_drift_tol,
+                    )
+            self._energy_base = energy
+
+        # Roll the accounting window forward.
+        self._n_base = sum(int(v["x"].shape[0]) for v in views)
+        self._injected = 0
+        self._removed = 0
+
+    # -- helpers --------------------------------------------------------
+
+    def _check_range(self, v: Dict[str, np.ndarray], domain, ctx) -> None:
+        cfg = self.config
+        tol = cfg.position_tolerance
+        x, y = v["x"], v["y"]
+        if x.size:
+            if float(x.min()) < -tol or float(x.max()) > domain.width + tol:
+                raise InvariantViolationError(
+                    "particle x position outside the tunnel",
+                    check="range",
+                    x_min=float(x.min()),
+                    x_max=float(x.max()),
+                    width=domain.width,
+                    **ctx,
+                )
+            if float(y.min()) < -tol or float(y.max()) > domain.height + tol:
+                raise InvariantViolationError(
+                    "particle y position outside the tunnel",
+                    check="range",
+                    y_min=float(y.min()),
+                    y_max=float(y.max()),
+                    height=domain.height,
+                    **ctx,
+                )
+        for name in _VELOCITY_COLUMNS:
+            col = v[name]
+            if col.size:
+                peak = float(np.abs(col).max())
+                if peak > cfg.velocity_limit:
+                    raise InvariantViolationError(
+                        f"velocity component {name!r} exceeds the "
+                        "fixed-point representable range",
+                        check="range",
+                        column=name,
+                        peak=peak,
+                        limit=cfg.velocity_limit,
+                        **ctx,
+                    )
+
+    @staticmethod
+    def _views(sim) -> List[Dict[str, np.ndarray]]:
+        """Authoritative per-shard column views (single view serially)."""
+        fn = getattr(sim.backend, "shard_columns", None)
+        views = fn() if callable(fn) else None
+        if views is None:
+            p = sim.particles
+            views = [{name: getattr(p, name) for name in COLUMN_NAMES}]
+        return views
+
+    @staticmethod
+    def _slab_bounds(sim):
+        fn = getattr(sim.backend, "shard_slab_bounds", None)
+        return fn() if callable(fn) else None
+
+    @staticmethod
+    def _migration_state(sim):
+        fn = getattr(sim.backend, "migration_state", None)
+        return fn() if callable(fn) else None
+
+    @staticmethod
+    def _total_energy(views: List[Dict[str, np.ndarray]]) -> float:
+        total = 0.0
+        for v in views:
+            u, w_, vv, rot = v["u"], v["w"], v["v"], v["rot"]
+            total += 0.5 * (
+                float(np.dot(u, u))
+                + float(np.dot(vv, vv))
+                + float(np.dot(w_, w_))
+            )
+            if rot.size:
+                total += 0.5 * float((rot * rot).sum())
+        return total
