@@ -31,6 +31,27 @@ AVERAGE_STEPS = 2000 if FULL else 350
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 
+def telemetry_metrics(tel) -> dict:
+    """JSON-safe telemetry snapshot for embedding in BENCH_*.json files.
+
+    Benchmarks that run with a :class:`repro.telemetry.hub.Telemetry`
+    attached call this to record what the hub observed (metric values,
+    span counts) next to their timing numbers, so a regression in the
+    numbers and a regression in the instrumentation are diagnosed from
+    the same artifact.
+    """
+    if tel is None:
+        return {}
+    snap = tel.snapshot()
+    # Prometheus-style sample dicts are already JSON-safe; keep only
+    # scalar-bearing entries to bound the artifact size.
+    return {
+        "metrics": snap.get("metrics", {}),
+        "spans": snap.get("spans", 0),
+        "spans_dropped": snap.get("spans_dropped", 0),
+    }
+
+
 def run_solution(lambda_mfp: float, seed: int = 1989) -> Simulation:
     """Run the Mach-4 wedge problem to a time-averaged solution."""
     cfg = SimulationConfig(

@@ -70,6 +70,23 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="resume a supervised run from its run directory "
                         "and finish the stored schedule (ignores the "
                         "configuration flags)")
+    w.add_argument("--telemetry", action="store_true",
+                   help="record metrics/spans/events to a run directory "
+                        "(events.jsonl, metrics.prom, trace.json)")
+    w.add_argument("--telemetry-dir", type=str, default=None,
+                   dest="telemetry_dir",
+                   help="telemetry output directory (default: the "
+                        "supervised run dir, or runs/wedge-<seed>-telemetry)")
+    w.add_argument("--telemetry-port", type=int, default=None,
+                   dest="telemetry_port", metavar="PORT",
+                   help="serve live /metrics on this port (0 = ephemeral); "
+                        "implies --telemetry")
+    w.add_argument("--telemetry-every", type=int, default=10,
+                   dest="telemetry_every",
+                   help="steps between JSONL samples / .prom rewrites")
+    w.add_argument("--live", action="store_true",
+                   help="print a one-line telemetry status to stderr "
+                        "while stepping; implies --telemetry")
     w.add_argument("--contours", action="store_true",
                    help="print ASCII density contours")
     w.add_argument("--save", type=str, default=None,
@@ -160,6 +177,36 @@ def _wedge_report(sim, args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_telemetry(args: argparse.Namespace, default_dir: str):
+    """Build the telemetry hub from the wedge flags (None if disabled)."""
+    enabled = (
+        args.telemetry or args.live or args.telemetry_port is not None
+    )
+    if not enabled:
+        return None
+    from repro.telemetry import Telemetry
+
+    return Telemetry(
+        run_dir=args.telemetry_dir or default_dir,
+        sample_every=args.telemetry_every,
+        live=args.live,
+        port=args.telemetry_port,
+    )
+
+
+def _telemetry_outro(tel) -> None:
+    """Close the hub and tell the user where the artifacts landed."""
+    if tel is None:
+        return
+    tel.close()
+    if tel.run_dir is not None:
+        print(
+            f"telemetry: {tel.run_dir / 'events.jsonl'} "
+            f"(trace.json, metrics.prom alongside; "
+            f"summarize with python -m repro.telemetry.report)"
+        )
+
+
 def _cmd_wedge(args: argparse.Namespace) -> int:
     from repro.core.simulation import Simulation, SimulationConfig
     from repro.geometry.domain import Domain
@@ -170,6 +217,9 @@ def _cmd_wedge(args: argparse.Namespace) -> int:
         from repro.resilience import SupervisedRun
 
         run = SupervisedRun.resume(args.resume)
+        tel = _make_telemetry(args, default_dir=args.resume)
+        if tel is not None:
+            run.attach_telemetry(tel)
         print(
             f"resumed {args.resume} at step {run.sim.step_count}, "
             f"{run.sim.backend.n_workers} worker(s)"
@@ -178,6 +228,7 @@ def _cmd_wedge(args: argparse.Namespace) -> int:
         with run:
             run.run_schedule()
             run.sim.gather()
+        _telemetry_outro(tel)
         print(f"finished at step {run.sim.step_count} in {time.time()-t0:.0f} s")
         return _wedge_report(run.sim, args)
 
@@ -201,7 +252,14 @@ def _cmd_wedge(args: argparse.Namespace) -> int:
         from repro.parallel.backend import ShardedBackend
 
         backend = ShardedBackend(args.workers)
-    sim = Simulation(config, backend=backend)
+    run_dir = args.run_dir or f"runs/wedge-{args.seed}"
+    tel = _make_telemetry(
+        args,
+        default_dir=run_dir
+        if args.supervised
+        else f"runs/wedge-{args.seed}-telemetry",
+    )
+    sim = Simulation(config, backend=backend, telemetry=tel)
     print(
         f"{sim.particles.n} particles, grid {args.nx}x{args.ny}, "
         f"{args.workers} worker(s)"
@@ -210,7 +268,6 @@ def _cmd_wedge(args: argparse.Namespace) -> int:
     if args.supervised:
         from repro.resilience import SupervisedRun
 
-        run_dir = args.run_dir or f"runs/wedge-{args.seed}"
         run = SupervisedRun(
             sim,
             run_dir,
@@ -234,6 +291,7 @@ def _cmd_wedge(args: argparse.Namespace) -> int:
         sim.run(args.average, sample=True)
         sim.gather()
         sim.close()
+    _telemetry_outro(tel)
     print(f"ran {args.transient}+{args.average} steps in {time.time()-t0:.0f} s")
     return _wedge_report(sim, args)
 

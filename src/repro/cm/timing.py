@@ -146,6 +146,51 @@ class CostLedger:
         out._steps = self._steps + other._steps
         return out
 
+    def summary(self) -> Dict[str, object]:
+        """One serializable record of the ledger's raw-cost state.
+
+        The emulated-machine counterpart of
+        :meth:`repro.perf.PerfLedger.summary`: same shape of record
+        (steps, per-phase totals, four-phase fractions), raw bit-cycles
+        instead of wall seconds.
+        """
+        total = self.total()
+        return {
+            "steps": self._steps,
+            "costs": self.as_dict(),
+            "phase_totals": {p: self.phase_total(p) for p in PHASES},
+            "fractions": {
+                p: (self.phase_total(p) / total if total else 0.0)
+                for p in PHASES
+            },
+        }
+
+    def export(
+        self,
+        sink,
+        timing_model: Optional["CM2TimingModel"] = None,
+        n_flow_particles: Optional[int] = None,
+    ) -> dict:
+        """Emit a ``cm_cost`` record into a telemetry event sink.
+
+        ``sink`` is anything with a ``record_event(kind, **fields)``
+        method (a :class:`repro.telemetry.hub.Telemetry`) or an
+        ``emit(kind, **fields)`` method (a bare
+        :class:`repro.telemetry.events.EventStream`).  With a timing
+        model and a flow-particle count, the record also carries the
+        calibrated us/particle breakdown next to the raw costs, so the
+        emulated machine's split lands in the same stream as the NumPy
+        engine's wall-clock split.  Returns the record.
+        """
+        record = self.summary()
+        if timing_model is not None and n_flow_particles:
+            breakdown = timing_model.per_particle_us(self, n_flow_particles)
+            record["us_per_particle"] = dict(breakdown.us_per_particle)
+            record["us_per_particle_total"] = breakdown.total
+        emit = getattr(sink, "record_event", None) or getattr(sink, "emit")
+        emit("cm_cost", **record)
+        return record
+
 
 # ---------------------------------------------------------------------------
 # Cost-model helpers: translate primitive executions into raw charges

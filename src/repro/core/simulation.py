@@ -267,7 +267,7 @@ class SerialBackend:
         mean_p = (
             float(selection.probability[cand].mean()) if cand.any() else 0.0
         )
-        perf.end_step()
+        perf.end_step(n_particles=parts.n)
         return StepDiagnostics(
             step=sim.step_count,
             n_flow=parts.n,
@@ -297,6 +297,11 @@ class Simulation:
     steps in-process via :class:`SerialBackend`; a
     :class:`repro.parallel.backend.ShardedBackend` decomposes the grid
     into x-slabs and steps them on worker processes.
+
+    ``telemetry`` attaches a :class:`repro.telemetry.Telemetry` hub:
+    every completed step feeds it diagnostics (metrics, spans, physics
+    observables), and sharded backends allocate shared-memory span
+    rings for their workers when one is present at bind time.
     """
 
     def __init__(
@@ -304,10 +309,15 @@ class Simulation:
         config: SimulationConfig,
         hotpath: bool = True,
         backend=None,
+        telemetry=None,
     ) -> None:
         self.config = config
         self.rng = make_rng(config.seed)
         self.step_count = 0
+        #: Telemetry hub (set before the backend binds so sharded
+        #: backends can size their worker span rings; ``None`` disables
+        #: all telemetry at zero per-step cost).
+        self.telemetry = telemetry
         #: ``hotpath=False`` runs the legacy allocating kernels
         #: (argsort of wide scaled keys, gather/scatter collisions,
         #: full-array boundary passes) -- the pre-overhaul baseline the
@@ -361,6 +371,8 @@ class Simulation:
         #: state it may need to decompose or mirror exists.
         self.backend = backend if backend is not None else SerialBackend()
         self.backend.bind(self)
+        if telemetry is not None:
+            telemetry.attach(self)
 
     # -- construction helpers ---------------------------------------------
 
@@ -406,7 +418,10 @@ class Simulation:
 
     def step(self, sample: bool = False) -> StepDiagnostics:
         """Advance the simulation by one time step (via the backend)."""
-        return self.backend.step(self, sample=sample)
+        diag = self.backend.step(self, sample=sample)
+        if self.telemetry is not None:
+            self.telemetry.on_step(self, diag)
+        return diag
 
     def gather(self) -> None:
         """Synchronize driver-side state with the backend.

@@ -59,6 +59,16 @@ from repro.errors import (
 from repro.parallel.exchange import LEFT, RIGHT, MigrationChannels
 from repro.parallel.shard import ShardSlabs
 from repro.rng import shard_stream
+from repro.telemetry.spans import (
+    RING_FIELDS,
+    RING_STATE,
+    WORKER_SPAN_NAMES,
+    drain_ring,
+    ring_append,
+)
+
+#: Span name -> ring name-id (the rings carry only numbers).
+_SPAN_ID = {name: i for i, name in enumerate(WORKER_SPAN_NAMES)}
 
 # -- control-word layout (shared int64 vector) --------------------------
 
@@ -201,6 +211,25 @@ class ShardWorker:
         #: selects hard process death vs a plain raise for ``crash``.
         self._forked = False
 
+    def _emit_spans(self, step: int, intervals) -> None:
+        """Append phase spans to this shard's shared ring (if any).
+
+        ``intervals`` is a sequence of ``(name, t0, t1)`` built from
+        timestamps the worker already takes for the diagnostics row, so
+        the marginal cost is a handful of array writes per step.
+        """
+        rings = self.shared.get("spans")
+        if rings is None:
+            return
+        state = self.shared["span_state"][self.shard_id]
+        ring = rings[self.shard_id]
+        pid = os.getpid()
+        for name, t0, t1 in intervals:
+            ring_append(
+                ring, state, _SPAN_ID[name], t0, t1,
+                step, self.shard_id, pid,
+            )
+
     def adopt(
         self,
         parts: ParticleArrays,
@@ -330,6 +359,14 @@ class ShardWorker:
         t2 = time.perf_counter()
         self._t_motion = t1 - t0
         self._t_exchange = t2 - t1
+        self._emit_spans(
+            step,
+            (
+                ("phase_a", t0, t2),
+                ("motion", t0, t1),
+                ("exchange", t1, t2),
+            ),
+        )
 
     def phase_b(self, step: int, sample: bool) -> None:
         """Arrivals, sort, selection, collisions, flux ship, publish."""
@@ -414,6 +451,17 @@ class ShardWorker:
         row[D_T_RESERVOIR] = t5 - t4
         if self.shard_id == 0:
             self.shared["misc"][MISC_PLUNGER] = self.boundaries.plunger.position
+        self._emit_spans(
+            step,
+            (
+                ("phase_b", t0, t5),
+                ("exchange", t0, t1),
+                ("sort", t1, t2),
+                ("selection", t2, t3),
+                ("collision", t3, t4),
+                ("reservoir", t4, t5),
+            ),
+        )
 
     # -- rare traffic ----------------------------------------------------
 
@@ -595,6 +643,14 @@ class ShardedBackend:
             ns = sim.surface.n_strips
             shared["surf"] = alloc((W, 2, ns + 1), np.float64)
             shared["surf_hits"] = alloc((W, ns + 1), np.int64)
+        # Worker span rings: allocated only when a telemetry hub is
+        # attached at bind time (otherwise the workers skip emission on
+        # one dict lookup per phase).
+        telemetry = getattr(sim, "telemetry", None)
+        if telemetry is not None:
+            cap = int(getattr(telemetry, "span_ring_capacity", 8192))
+            shared["spans"] = alloc((W, cap, RING_FIELDS), np.float64)
+            shared["span_state"] = alloc((W, RING_STATE), np.int64)
         self._shared = shared
 
         rdof = cfg.model.rotational_dof
@@ -786,10 +842,11 @@ class ShardedBackend:
         )
         for name, col in PHASE_COLUMNS:
             sim.perf.record(name, float(d[:, col].sum()))
-        sim.perf.end_step()
+        n_flow = int(d[:, D_NFLOW].sum())
+        sim.perf.end_step(n_particles=n_flow)
         return StepDiagnostics(
             step=sim.step_count,
-            n_flow=int(d[:, D_NFLOW].sum()),
+            n_flow=n_flow,
             n_reservoir=int(d[0, D_NRES]),
             n_candidates=n_cand,
             n_collisions=int(d[:, D_NCOLL].sum()),
@@ -932,6 +989,44 @@ class ShardedBackend:
         if self._serial is not None or not self._bound:
             return None
         return np.asarray(self._channels.counts), self._channels.capacity
+
+    # -- introspection for the telemetry hub -----------------------------
+
+    def shard_loads(self) -> Optional[np.ndarray]:
+        """Per-shard particle counts (the load-imbalance observable)."""
+        if self._serial is not None or not self._bound:
+            return None
+        return np.asarray(self._shared["n_parts"]).copy()
+
+    def exchange_occupancy(self) -> Optional[Tuple[np.ndarray, int]]:
+        """``(high_water, capacity)`` of the migration channels.
+
+        The high-water marks accumulate across the run (written by the
+        workers at ship time), so a single read answers "how close did
+        any channel come to overflowing".
+        """
+        if self._serial is not None or not self._bound:
+            return None
+        return (
+            np.asarray(self._channels.high_water).copy(),
+            self._channels.capacity,
+        )
+
+    def drain_span_rings(self) -> Optional[np.ndarray]:
+        """Drain every worker span ring into one row block (or None)."""
+        if self._serial is not None or not self._bound:
+            return None
+        rings = self._shared.get("spans")
+        if rings is None:
+            return None
+        states = self._shared["span_state"]
+        blocks = [
+            drain_ring(rings[k], states[k]) for k in range(self.n_workers)
+        ]
+        blocks = [b for b in blocks if b.shape[0]]
+        if not blocks:
+            return np.empty((0, RING_FIELDS))
+        return np.concatenate(blocks, axis=0)
 
     # -- seam: close ----------------------------------------------------
 

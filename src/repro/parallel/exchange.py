@@ -80,6 +80,10 @@ class MigrationChannels:
         #: Migrant count per (source shard, direction), written by the
         #: source in phase A, read by the destination in phase B.
         self.counts = alloc((n_workers, 2), np.int64)
+        #: Run-lifetime high-water mark per channel (telemetry: how
+        #: close each channel came to its capacity).  Written by the
+        #: source worker at ship time; one compare per ship.
+        self.high_water = alloc((n_workers, 2), np.int64)
         self._float: Dict[Tuple[int, int], np.ndarray] = {}
         self._perm: Dict[Tuple[int, int], np.ndarray] = {}
         for src in range(n_workers):
@@ -149,6 +153,8 @@ class MigrationChannels:
                     self._step or 0, src, fb[:m].shape
                 )
         self.counts[src, direction] = m
+        if m > self.high_water[src, direction]:
+            self.high_water[src, direction] = m
         return m
 
     def receive(self, parts: ParticleArrays, dst: int) -> int:

@@ -13,11 +13,18 @@ benchmark suite can track the hot path's trajectory across commits.
 Overhead is two ``perf_counter`` calls per phase per step (tens of
 nanoseconds), negligible against the O(N) kernels being timed; the
 ledger can still be disabled for the purest timing runs.
+
+The ledger is also the serial engine's feed into the telemetry
+subsystem: when a :class:`repro.telemetry.spans.SpanTracer` is
+installed as :attr:`PerfLedger.tracer`, every phase records a span
+(with its real start/end timestamps) in addition to the aggregate
+seconds, which is what the Chrome-trace export renders.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
@@ -38,10 +45,11 @@ class PerfLedger:
             ...
         with perf.phase("sort"):
             ...
-        perf.end_step()
+        perf.end_step(n_particles=parts.n)
 
     and afterwards ``perf.fractions()`` for the paper-style split or
-    ``perf.us_per_particle(n)`` for the per-particle budget.
+    ``perf.us_per_particle()`` for the per-particle budget (computed
+    against the accumulated per-step particle counts).
     """
 
     def __init__(self, enabled: bool = True) -> None:
@@ -50,6 +58,19 @@ class PerfLedger:
         self._last_step: Dict[str, float] = {}
         self._current: Dict[str, float] = {}
         self._steps = 0
+        #: Sum of per-step particle counts over the recorded steps (the
+        #: correct denominator for us/particle when the population
+        #: changes step to step, which it always does: boundary fluxes).
+        self._particle_steps = 0
+        #: Steps that reported a particle count to :meth:`end_step`.
+        self._counted_steps = 0
+        #: Bumped by :meth:`reset`; a phase entered before a reset
+        #: discards its charge instead of polluting the fresh ledger.
+        self._generation = 0
+        #: Optional :class:`repro.telemetry.spans.SpanTracer`; when set,
+        #: every completed phase also records a span (telemetry installs
+        #: this; ``None`` keeps the hot path at two perf_counter calls).
+        self.tracer = None
 
     # -- recording --------------------------------------------------------
 
@@ -59,13 +80,18 @@ class PerfLedger:
         if not self.enabled:
             yield
             return
+        gen = self._generation
         t0 = time.perf_counter()
         try:
             yield
         finally:
-            dt = time.perf_counter() - t0
-            self._current[name] = self._current.get(name, 0.0) + dt
-            self._seconds[name] = self._seconds.get(name, 0.0) + dt
+            t1 = time.perf_counter()
+            if gen == self._generation:
+                dt = t1 - t0
+                self._current[name] = self._current.get(name, 0.0) + dt
+                self._seconds[name] = self._seconds.get(name, 0.0) + dt
+                if self.tracer is not None:
+                    self.tracer.record(name, t0, t1)
 
     def record(self, name: str, seconds: float) -> None:
         """Charge externally measured ``seconds`` to phase ``name``.
@@ -80,24 +106,47 @@ class PerfLedger:
         self._current[name] = self._current.get(name, 0.0) + seconds
         self._seconds[name] = self._seconds.get(name, 0.0) + seconds
 
-    def end_step(self) -> None:
-        """Close out one time step (freezes that step's phase split)."""
+    def end_step(self, n_particles: Optional[int] = None) -> None:
+        """Close out one time step (freezes that step's phase split).
+
+        ``n_particles`` is the step's flow population; passing it every
+        step builds the particle-count series that
+        :meth:`us_per_particle` divides by, so the per-particle budget
+        stays honest while the population fluctuates.
+        """
         self._steps += 1
+        if n_particles is not None and n_particles > 0:
+            self._particle_steps += int(n_particles)
+            self._counted_steps += 1
         self._last_step = self._current
         self._current = {}
 
     def reset(self) -> None:
-        """Drop all accumulated timings (e.g. after warm-up steps)."""
+        """Drop all accumulated timings (e.g. after warm-up steps).
+
+        Safe to call while a :meth:`phase` context is open: the
+        in-flight phase detects the reset (generation counter) and
+        discards its charge rather than leaking warm-up seconds into
+        the fresh ledger.
+        """
+        self._generation += 1
         self._seconds = {}
         self._last_step = {}
         self._current = {}
         self._steps = 0
+        self._particle_steps = 0
+        self._counted_steps = 0
 
     # -- reading ----------------------------------------------------------
 
     @property
     def steps(self) -> int:
         return self._steps
+
+    @property
+    def particle_steps(self) -> int:
+        """Sum of per-step particle counts reported to :meth:`end_step`."""
+        return self._particle_steps
 
     @property
     def last_step_seconds(self) -> Dict[str, float]:
@@ -130,12 +179,40 @@ class PerfLedger:
             return {p: 0.0 for p in PAPER_PHASES}
         return {p: self._seconds.get(p, 0.0) / total for p in PAPER_PHASES}
 
-    def us_per_particle(self, n_particles: int) -> Dict[str, float]:
-        """Phase -> microseconds per particle per step (paper units)."""
-        if self._steps == 0 or n_particles <= 0:
+    def us_per_particle(
+        self, n_particles: Optional[int] = None
+    ) -> Dict[str, float]:
+        """Phase -> microseconds per particle per step (paper units).
+
+        With no argument, divides by the accumulated per-step particle
+        counts (the series built by ``end_step(n_particles=...)``),
+        which is exact under a fluctuating population.  Passing a
+        single ``n_particles`` is deprecated: it silently applied the
+        *final* population to every recorded step.
+        """
+        if n_particles is not None:
+            warnings.warn(
+                "us_per_particle(n_particles) applies one population to "
+                "every step; pass the count per step via "
+                "end_step(n_particles=...) and call us_per_particle() "
+                "with no argument instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if self._steps == 0 or n_particles <= 0:
+                return {}
+            return {
+                p: s / self._steps / n_particles * 1e6
+                for p, s in self._seconds.items()
+            }
+        if self._particle_steps == 0 or self._counted_steps == 0:
             return {}
+        # Steps that predate the series (mixed old/new callers) scale
+        # the denominator by the counted fraction, keeping the mean
+        # honest for the steps that did report.
+        scale = self._counted_steps / self._steps if self._steps else 1.0
         return {
-            p: s / self._steps / n_particles * 1e6
+            p: s * scale / self._particle_steps * 1e6
             for p, s in self._seconds.items()
         }
 
@@ -143,10 +220,13 @@ class PerfLedger:
         """One serializable record of everything the ledger knows."""
         out: Dict[str, object] = {
             "steps": self._steps,
+            "particle_steps": self._particle_steps,
             "seconds_by_phase": dict(self._seconds),
             "per_step_seconds": self.per_step_seconds(),
             "fractions": self.fractions(),
         }
         if n_particles:
             out["us_per_particle"] = self.us_per_particle(n_particles)
+        elif self._particle_steps:
+            out["us_per_particle"] = self.us_per_particle()
         return out

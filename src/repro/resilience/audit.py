@@ -119,15 +119,34 @@ class InvariantAuditor:
 
     # -- the audit ------------------------------------------------------
 
-    def audit(self, sim) -> None:
-        """Run every enabled O(N) check; raise on the first violation."""
+    def audit(self, sim) -> Optional[dict]:
+        """Run every enabled O(N) check; raise on the first violation.
+
+        On success, returns a small report (which checks ran, particle
+        count, total energy, shard count) that the supervisor forwards
+        to telemetry as the audit event's payload.  Returns ``None``
+        when the call only primed the baselines.
+        """
         if self._n_base is None:
             self.rebase(sim)
-            return
+            return None
         cfg = self.config
         step = sim.step_count
         views = self._views(sim)
         self.audits_run += 1
+        checks = [
+            name
+            for name, on in (
+                ("counts", cfg.check_counts),
+                ("finite", cfg.check_finite),
+                ("range", cfg.check_range),
+                ("cells", cfg.check_cells),
+                ("slabs", cfg.check_slabs),
+                ("channels", cfg.check_channels),
+                ("energy", cfg.check_energy),
+            )
+            if on
+        ]
 
         if cfg.check_counts:
             n_now = sum(int(v["x"].shape[0]) for v in views)
@@ -214,8 +233,8 @@ class InvariantAuditor:
                         capacity=int(capacity),
                     )
 
+        energy = self._total_energy(views)
         if cfg.check_energy:
-            energy = self._total_energy(views)
             base = self._energy_base
             if base is not None:
                 drift = abs(energy - base) / max(abs(base), 1.0)
@@ -235,6 +254,12 @@ class InvariantAuditor:
         self._n_base = sum(int(v["x"].shape[0]) for v in views)
         self._injected = 0
         self._removed = 0
+        return {
+            "checks": checks,
+            "n_particles": self._n_base,
+            "energy": energy,
+            "shards": len(views),
+        }
 
     # -- helpers --------------------------------------------------------
 

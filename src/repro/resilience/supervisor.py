@@ -39,7 +39,7 @@ import json
 import pathlib
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 from repro.core.simulation import Simulation, StepDiagnostics
 from repro.errors import (
@@ -53,6 +53,7 @@ from repro.errors import (
 )
 from repro.io.snapshots import load_simulation, save_simulation
 from repro.resilience.audit import AuditConfig, InvariantAuditor
+from repro.telemetry.events import EventStream
 
 #: Failures the supervisor recovers from.  Everything else --
 #: configuration errors, geometry errors, plain bugs -- propagates:
@@ -97,38 +98,19 @@ class RecoveryEvent:
         return dataclasses.asdict(self)
 
 
-class RunJournal:
+class RunJournal(EventStream):
     """Append-only event log of a supervised run (``journal.jsonl``).
 
-    Every record is one JSON object per line with at least a ``kind``
-    field (``recovery``, ``checkpoint_corrupt``, ``degraded``,
-    ``exhausted``) and a wall-clock ``time``.  The in-memory ``events``
-    list mirrors what this process appended; :meth:`load` reads the
-    whole file back (including records from previous processes).
+    The original resilience journal, now a thin subclass of the
+    telemetry :class:`~repro.telemetry.events.EventStream` -- same API
+    (``append``/``load``), same one-JSON-object-per-line format, kept
+    on its own ``journal.jsonl`` so existing run directories and
+    tooling keep working.  When the supervised simulation also carries
+    a telemetry hub, every journal record is mirrored into the hub's
+    unified ``events.jsonl`` stream.
     """
 
-    def __init__(self, run_dir: PathLike) -> None:
-        self.path = pathlib.Path(run_dir) / "journal.jsonl"
-        self.events: List[dict] = []
-
-    def append(self, record: dict) -> None:
-        """Record one event (in memory and to the journal file)."""
-        record = dict(record)
-        record.setdefault("time", time.time())
-        self.events.append(record)
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record) + "\n")
-
-    @classmethod
-    def load(cls, run_dir: PathLike) -> List[dict]:
-        path = pathlib.Path(run_dir) / "journal.jsonl"
-        if not path.exists():
-            return []
-        return [
-            json.loads(line)
-            for line in path.read_text(encoding="utf-8").splitlines()
-            if line.strip()
-        ]
+    filename = "journal.jsonl"
 
 
 class SupervisedRun:
@@ -208,11 +190,15 @@ class SupervisedRun:
         self.compress_checkpoints = bool(compress_checkpoints)
         self.fault_plan = fault_plan
         self.journal = RunJournal(self.run_dir)
+        #: Optional :class:`repro.telemetry.hub.Telemetry` picked up from
+        #: the simulation; every journal record is mirrored into its
+        #: unified event stream, and audits report through it.
+        self.telemetry = getattr(sim, "telemetry", None)
         self.auditor = InvariantAuditor(audit_config)
         self.retries = 0
         self.parallel_faults = 0
         #: Recovery events awaiting merge into the next StepDiagnostics.
-        self._pending: List[RecoveryEvent] = []
+        self._pending: list = []
 
         backend = sim.backend
         self._workers = int(getattr(backend, "n_workers", 1))
@@ -251,13 +237,42 @@ class SupervisedRun:
         """Shut down the supervised simulation's backend."""
         self.sim.close()
 
+    # -- telemetry ------------------------------------------------------
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Adopt a telemetry hub after construction (the resume path).
+
+        :meth:`resume` rebuilds the simulation from a checkpoint before
+        any telemetry exists; this wires the hub to both the supervisor
+        (journal mirroring, audit events) and the restored simulation.
+        """
+        self.telemetry = telemetry
+        if telemetry is None:
+            return
+        telemetry.reattach(self.sim)
+        # Mirror journal records this process appended before the hub
+        # existed (resume() journals "resumed" -- and possibly
+        # "checkpoint_corrupt" -- during construction).
+        for record in self.journal.events:
+            rec = dict(record)
+            kind = rec.pop("kind", "resilience")
+            telemetry.record_event(kind, **rec)
+
+    def _journal(self, record: dict) -> None:
+        """Append to ``journal.jsonl`` and mirror into the telemetry stream."""
+        self.journal.append(record)
+        if self.telemetry is not None:
+            rec = dict(record)
+            kind = rec.pop("kind", "resilience")
+            self.telemetry.record_event(kind, **rec)
+
     # -- metadata / checkpoints ----------------------------------------
 
     def _write_meta(self) -> None:
         path = self.run_dir / "run.json"
         path.write_text(json.dumps(self._meta, indent=2), encoding="utf-8")
 
-    def _checkpoints_newest_first(self) -> List[pathlib.Path]:
+    def _checkpoints_newest_first(self) -> "list[pathlib.Path]":
         return sorted(self.run_dir.glob(_CKPT_GLOB), reverse=True)
 
     def _checkpoint(self) -> pathlib.Path:
@@ -271,6 +286,10 @@ class SupervisedRun:
         )
         for old in self._checkpoints_newest_first()[self.keep_checkpoints:]:
             old.unlink(missing_ok=True)
+        if self.telemetry is not None:
+            self.telemetry.record_event(
+                "checkpoint", step=self.sim.step_count, path=path.name
+            )
         return path
 
     # -- the supervised step -------------------------------------------
@@ -303,7 +322,7 @@ class SupervisedRun:
                     self.audit_every
                     and self.sim.step_count % self.audit_every == 0
                 ):
-                    self.auditor.audit(self.sim)
+                    self._audit()
             except RETRYABLE as exc:
                 self._recover(exc)
                 continue
@@ -381,6 +400,26 @@ class SupervisedRun:
             self._checkpoint()
         return diag
 
+    def _audit(self) -> None:
+        """Run the invariant audit, reporting its outcome to telemetry.
+
+        A failed audit still raises (the supervisor recovers from it);
+        telemetry records the failure before the exception propagates so
+        the event stream shows the audit verdict next to the recovery
+        it triggered.
+        """
+        step = self.sim.step_count
+        try:
+            report = self.auditor.audit(self.sim)
+        except InvariantViolationError as exc:
+            if self.telemetry is not None:
+                self.telemetry.record_audit(
+                    step, ok=False, error=str(exc)
+                )
+            raise
+        if self.telemetry is not None:
+            self.telemetry.record_audit(step, ok=True, **(report or {}))
+
     # -- recovery -------------------------------------------------------
 
     def _recover(self, exc: Exception) -> None:
@@ -391,7 +430,7 @@ class SupervisedRun:
         if self._workers > 1:
             self.parallel_faults += 1
         if self.retries > self.max_retries:
-            self.journal.append(
+            self._journal(
                 {
                     "kind": "exhausted",
                     "step": failed_step,
@@ -434,6 +473,13 @@ class SupervisedRun:
         self.sim = self._restore(workers_after)
         self._workers = workers_after
         self.auditor.rebase(self.sim)
+        if self.telemetry is not None:
+            # The restored simulation was built without a telemetry
+            # handle; re-wire the hub so metrics and events continue
+            # across the recovery (worker span rings are not
+            # re-allocated on the respawned pool -- documented
+            # limitation; driver-side spans resume immediately).
+            self.telemetry.reattach(self.sim)
 
         event = RecoveryEvent(
             step=failed_step,
@@ -446,9 +492,9 @@ class SupervisedRun:
             wall_seconds=time.monotonic() - t0,
         )
         self._pending.append(event)
-        self.journal.append({"kind": "recovery", **event.to_dict()})
+        self._journal({"kind": "recovery", **event.to_dict()})
         if degraded:
-            self.journal.append(
+            self._journal(
                 {
                     "kind": "degraded",
                     "step": failed_step,
@@ -486,7 +532,7 @@ class SupervisedRun:
                 )
             except CheckpointCorruptionError as corrupt:
                 last_exc = corrupt
-                self.journal.append(
+                self._journal(
                     {
                         "kind": "checkpoint_corrupt",
                         "path": path.name,
@@ -555,5 +601,5 @@ class SupervisedRun:
         }
         kwargs.update(overrides)
         run = cls(sim, run_dir, _meta=meta, **kwargs)
-        run.journal.append({"kind": "resumed", "step": sim.step_count})
+        run._journal({"kind": "resumed", "step": sim.step_count})
         return run

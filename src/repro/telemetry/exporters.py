@@ -1,0 +1,100 @@
+"""Exporters: Prometheus snapshot files and a stdlib HTTP endpoint.
+
+Two ways out for the metrics registry:
+
+* :func:`write_prometheus_snapshot` -- the text exposition written to a
+  file at a cadence (``metrics.prom`` in the run directory), the
+  node-exporter "textfile collector" pattern: a scraper reads the file,
+  the simulation never blocks on the network.
+* :class:`MetricsServer` -- an optional live ``/metrics`` endpoint on
+  ``http.server`` (no third-party dependency), serving the registry
+  and a JSON snapshot at ``/snapshot.json``; enabled by
+  ``wedge --telemetry-port``.  The handler thread only *reads* the
+  registry (plain Python floats under the GIL), so no locking is
+  needed for scrape-consistency a few steps stale.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Union
+
+from repro.telemetry.metrics import MetricsRegistry
+
+PathLike = Union[str, pathlib.Path]
+
+
+def write_prometheus_snapshot(
+    registry: MetricsRegistry, path: PathLike
+) -> pathlib.Path:
+    """Write the registry's text exposition atomically to ``path``."""
+    path = pathlib.Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(registry.to_prometheus(), encoding="utf-8")
+    tmp.replace(path)
+    return path
+
+
+class MetricsServer:
+    """Background HTTP server exposing the live metrics registry.
+
+    ``port=0`` binds an ephemeral port (tests); the bound port is
+    available as :attr:`port` after construction.  The server runs on
+    a daemon thread and is stopped by :meth:`close` (idempotent).
+    """
+
+    def __init__(self, registry: MetricsRegistry, port: int = 0) -> None:
+        self.registry = registry
+
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+                if self.path.rstrip("/") in ("", "/metrics".rstrip("/")):
+                    body = server.registry.to_prometheus().encode()
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif self.path == "/snapshot.json":
+                    body = json.dumps(server.registry.snapshot()).encode()
+                    ctype = "application/json"
+                else:
+                    self.send_error(404)
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:
+                """Silence per-request stderr logging."""
+
+        self._httpd = ThreadingHTTPServer(("127.0.0.1", port), Handler)
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        self._closed = False
+
+    def close(self) -> None:
+        """Shut the HTTP server down and join its thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+
+def ensure_server(
+    registry: MetricsRegistry, port: Optional[int]
+) -> Optional[MetricsServer]:
+    """Start a :class:`MetricsServer` when a port is configured."""
+    if port is None:
+        return None
+    return MetricsServer(registry, port=port)

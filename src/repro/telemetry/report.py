@@ -1,0 +1,225 @@
+"""Turn a run's JSONL event stream into a summary, or diff two runs.
+
+``python -m repro.telemetry.report RUN_DIR`` renders the headline
+numbers of a run (steps, us/particle, phase split vs the paper's
+14/27/20/39, imbalance, audits, recoveries) from its ``events.jsonl``;
+``--diff OTHER_DIR`` prints both runs side by side with relative
+deltas -- the regression-triage view: did the refactor move the sort
+fraction, did the new backend change the imbalance, did us/particle
+regress.
+
+The summary is pure stream processing (one pass over the JSONL), so it
+works on live run directories and on streams truncated by a crash.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.perf import PAPER_PHASES
+from repro.telemetry.events import EventStream
+
+PathLike = Union[str, pathlib.Path]
+
+#: The paper's target split, displayed next to the measured one.
+PAPER_FRACTIONS = {
+    "motion": 0.14, "sort": 0.27, "selection": 0.20, "collision": 0.39,
+}
+
+
+def summarize(run_dir: PathLike) -> dict:
+    """One-pass summary of a run directory's ``events.jsonl``."""
+    events = EventStream.load(run_dir)
+    if not events:
+        raise FileNotFoundError(
+            f"no events.jsonl records under {run_dir} (was the run "
+            "started with telemetry enabled?)"
+        )
+    summary: dict = {
+        "run_dir": str(run_dir),
+        "workers": None,
+        "seed": None,
+        "steps": 0,
+        "last_step": None,
+        "n_flow": None,
+        "us_per_particle_mean": None,
+        "fractions": None,
+        "energy_drift": None,
+        "load_imbalance_max": None,
+        "spans": 0,
+        "audits": 0,
+        "audit_failures": 0,
+        "recoveries": 0,
+        "checkpoints": 0,
+        "mean_free_path_bands": None,
+    }
+    us_samples: List[float] = []
+    imb_samples: List[float] = []
+    for ev in events:
+        kind = ev.get("kind")
+        if kind == "run_start":
+            summary["workers"] = ev.get("workers")
+            summary["seed"] = ev.get("seed")
+        elif kind == "metrics":
+            summary["last_step"] = ev.get("step")
+            summary["n_flow"] = ev.get("n_flow")
+            summary["fractions"] = ev.get("fractions")
+            if ev.get("us_per_particle") is not None:
+                us_samples.append(float(ev["us_per_particle"]))
+            if ev.get("energy_drift") is not None:
+                summary["energy_drift"] = float(ev["energy_drift"])
+            if ev.get("load_imbalance") is not None:
+                imb_samples.append(float(ev["load_imbalance"]))
+        elif kind == "span":
+            summary["spans"] += 1
+        elif kind == "audit":
+            summary["audits"] += 1
+            if not ev.get("ok", True):
+                summary["audit_failures"] += 1
+        elif kind == "recovery":
+            summary["recoveries"] += 1
+        elif kind == "checkpoint":
+            summary["checkpoints"] += 1
+        elif kind == "observables":
+            summary["mean_free_path_bands"] = ev.get("mean_free_path_bands")
+        elif kind == "run_end":
+            snap = ev.get("snapshot", {})
+            metrics = snap.get("metrics", {})
+            steps = metrics.get("repro_steps_total", {})
+            summary["steps"] = int(steps.get("value", summary["steps"]))
+    if not summary["steps"] and summary["last_step"] is not None:
+        summary["steps"] = int(summary["last_step"])
+    if us_samples:
+        summary["us_per_particle_mean"] = sum(us_samples) / len(us_samples)
+    if imb_samples:
+        summary["load_imbalance_max"] = max(imb_samples)
+    return summary
+
+
+def _fmt(value, spec: str = "") -> str:
+    if value is None:
+        return "-"
+    return format(value, spec) if spec else str(value)
+
+
+def _split(fractions: Optional[Dict[str, float]]) -> str:
+    if not fractions:
+        return "-"
+    return "/".join(
+        f"{100 * fractions.get(p, 0.0):.0f}" for p in PAPER_PHASES
+    )
+
+
+def render(summary: dict) -> str:
+    """Human-readable table of one run summary."""
+    rows = [
+        ("run", summary["run_dir"]),
+        ("workers", _fmt(summary["workers"])),
+        ("seed", _fmt(summary["seed"])),
+        ("steps", _fmt(summary["steps"])),
+        ("flow particles", _fmt(summary["n_flow"])),
+        ("us/particle (mean)", _fmt(summary["us_per_particle_mean"], ".3f")),
+        (
+            "phase split",
+            f"{_split(summary['fractions'])} (paper {_split(PAPER_FRACTIONS)})",
+        ),
+        ("energy drift", _fmt(summary["energy_drift"], ".2e")),
+        ("load imbalance (max)", _fmt(summary["load_imbalance_max"], ".3f")),
+        ("spans", _fmt(summary["spans"])),
+        ("audits (failures)", f"{summary['audits']} ({summary['audit_failures']})"),
+        ("recoveries", _fmt(summary["recoveries"])),
+        ("checkpoints", _fmt(summary["checkpoints"])),
+    ]
+    width = max(len(label) for label, _ in rows)
+    return "\n".join(f"{label:<{width}} : {value}" for label, value in rows)
+
+
+def render_diff(a: dict, b: dict) -> str:
+    """Side-by-side comparison of two run summaries with deltas."""
+    def delta(x, y):
+        if x is None or y is None or x == 0:
+            return "-"
+        return f"{100.0 * (y - x) / abs(x):+.1f}%"
+
+    rows = [
+        ("run", a["run_dir"], b["run_dir"], ""),
+        ("workers", _fmt(a["workers"]), _fmt(b["workers"]), ""),
+        ("steps", _fmt(a["steps"]), _fmt(b["steps"]), ""),
+        (
+            "us/particle",
+            _fmt(a["us_per_particle_mean"], ".3f"),
+            _fmt(b["us_per_particle_mean"], ".3f"),
+            delta(a["us_per_particle_mean"], b["us_per_particle_mean"]),
+        ),
+        ("phase split", _split(a["fractions"]), _split(b["fractions"]), ""),
+        (
+            "imbalance (max)",
+            _fmt(a["load_imbalance_max"], ".3f"),
+            _fmt(b["load_imbalance_max"], ".3f"),
+            delta(a["load_imbalance_max"], b["load_imbalance_max"]),
+        ),
+        (
+            "energy drift",
+            _fmt(a["energy_drift"], ".2e"),
+            _fmt(b["energy_drift"], ".2e"),
+            "",
+        ),
+        (
+            "recoveries",
+            _fmt(a["recoveries"]),
+            _fmt(b["recoveries"]),
+            "",
+        ),
+    ]
+    w0 = max(len(r[0]) for r in rows)
+    w1 = max(len(r[1]) for r in rows)
+    w2 = max(len(r[2]) for r in rows)
+    return "\n".join(
+        f"{r[0]:<{w0}} : {r[1]:<{w1}}  {r[2]:<{w2}}  {r[3]}" for r in rows
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: summarize or diff run telemetry directories."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report",
+        description="Summarize (or diff) run telemetry event streams",
+    )
+    parser.add_argument("run_dir", help="run directory with events.jsonl")
+    parser.add_argument(
+        "--diff", metavar="OTHER", default=None,
+        help="second run directory to compare against",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        summary = summarize(args.run_dir)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        if args.diff:
+            other = summarize(args.diff)
+            if args.json:
+                print(json.dumps({"a": summary, "b": other}, indent=2))
+            else:
+                print(render_diff(summary, other))
+        elif args.json:
+            print(json.dumps(summary, indent=2))
+        else:
+            print(render(summary))
+    except BrokenPipeError:  # piped into head/less and cut short
+        sys.stderr.close()
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
