@@ -6,15 +6,25 @@ conditions) -- 14%  2) sort -- 27%  3) selection of collision partners
 -- 20%  4) collision of selected partners -- 39%."
 
 The bench runs the CM engine on the wedge problem at the calibration
-VP ratio and reports the measured phase fractions.
+VP ratio and reports the measured phase fractions.  A second (slow)
+bench puts the three host sort kernels side by side -- ``counting``
+(paper-faithful randomized counting sort), ``scaled-key`` (the legacy
+wide-key argsort) and ``incremental`` (temporal-coherence canonical
+order) -- and emits the measured per-step moved fraction, the datum
+behind the incremental kernel's rebuild-threshold default.
 """
+
+import dataclasses
+import time
+
+import pytest
 
 from repro.analysis.report import ExperimentRecord
 from repro.cm.machine import CM2
 from repro.cm.timing import PHASES
 from repro.constants import PAPER_PHASE_FRACTIONS
 from repro.core.engine_cm import CMSimulation
-from repro.core.simulation import SimulationConfig
+from repro.core.simulation import Simulation, SimulationConfig
 from repro.geometry.domain import Domain
 from repro.geometry.wedge import Wedge
 from repro.physics.freestream import Freestream
@@ -52,3 +62,68 @@ def test_table_phase_breakdown(benchmark, emit):
         )
     emit(rec)
     assert rec.all_agree()
+
+
+HOST_KERNELS = ("counting", "scaled-key", "incremental")
+
+
+@pytest.mark.slow
+def test_table_host_kernel_breakdown(emit):
+    """Host-engine phase split for all three sort kernels, side by side.
+
+    The counting and scaled-key kernels re-randomize the order each
+    step (the paper-faithful arrangement); the incremental kernel
+    maintains a canonical order across steps, so its ledger is the one
+    where the sort fraction should collapse.  The emitted record also
+    carries the measured moved fraction -- the temporal-coherence
+    statistic ``DEFAULT_REBUILD_THRESHOLD`` is calibrated against.
+    """
+    base = SimulationConfig(
+        domain=Domain(98, 64),
+        freestream=Freestream(
+            mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=20.0
+        ),
+        wedge=Wedge(x_leading=20.0, base=25.0, angle_deg=30.0),
+        seed=17,
+    )
+    steps = 20
+    rec = ExperimentRecord(
+        "TAB1-host", "host sort-kernel phase split + moved fraction"
+    )
+    wall = {}
+    for kernel in HOST_KERNELS:
+        sim = Simulation(
+            dataclasses.replace(base, sort_kernel=kernel), hotpath=True
+        )
+        sim.run(5)
+        sim.perf.reset()
+        moved = []
+        t0 = time.perf_counter()
+        for _ in range(steps):
+            diag = sim.step()
+            if diag.sort_moved_fraction is not None:
+                moved.append(diag.sort_moved_fraction)
+        wall[kernel] = time.perf_counter() - t0
+        fractions = sim.perf.fractions()
+        for phase in PHASES:
+            rec.add(
+                f"{kernel}: {phase} fraction",
+                PAPER_PHASE_FRACTIONS[phase],
+                fractions[phase],
+                rel_tol=0.5,
+                note="host kernel, informational",
+            )
+        if moved:
+            rec.add(
+                f"{kernel}: moved fraction (mean)",
+                None,
+                sum(moved) / len(moved),
+            )
+    rec.add(
+        "incremental speedup vs counting",
+        None,
+        wall["counting"] / wall["incremental"],
+    )
+    emit(rec)
+    # The incremental kernel must actually beat the counting hotpath.
+    assert wall["incremental"] < wall["counting"]

@@ -210,6 +210,59 @@ def _mixed_half_relatives(
     return h_new
 
 
+def _mixed_half_relatives_t(
+    ht: np.ndarray,
+    perm_rows: np.ndarray,
+    rng: Optional[np.random.Generator],
+    signs: Optional[np.ndarray],
+    internal_exchange_probability: float,
+    k: int,
+) -> np.ndarray:
+    """Transposed-layout eq. (18) shuffle: ``ht`` is ``(k, n_pairs)``.
+
+    Elementwise identical to :func:`_mixed_half_relatives` on the
+    transpose (``out[j, i] == _mixed_half_relatives(h, ...)[i, j]``)
+    with the *same RNG consumption order* -- the signs are still drawn
+    as an ``(n, k)`` block, the frozen-pair draws are unchanged -- so
+    swapping a kernel to the transposed layout is bitwise invisible.
+    The component-major layout makes every downstream per-component
+    read (``ht[j]``) a contiguous row instead of a strided column,
+    which is where the memory-bound collision phase spends its time.
+    """
+    n = ht.shape[1]
+    # Flattened gather out[j, i] = ht[perm[i, j], i]: flat position
+    # perm[i, j] * n + i, one 1-D take over the (k, n) block.
+    idx = perm_rows.T.astype(np.intp)
+    idx *= n
+    idx += np.arange(n, dtype=np.intp)
+    htn = np.take(ht.reshape(-1), idx)
+    if signs is None:
+        if rng is None:
+            raise ConfigurationError("need rng or explicit signs")
+        signs = random_signs(rng, (n, k))
+    else:
+        signs = np.asarray(signs)
+        if signs.shape != (n, k):
+            raise ConfigurationError(f"signs must have shape {(n, k)}")
+    np.multiply(htn, signs.T, out=htn, casting="unsafe")
+
+    if internal_exchange_probability < 1.0:
+        if rng is None:
+            raise ConfigurationError(
+                "internal_exchange_probability < 1 requires rng"
+            )
+        frozen = rng.random(n) >= internal_exchange_probability
+        if np.any(frozen):
+            nf = int(np.count_nonzero(frozen))
+            trans_perm = np.argsort(rng.random((nf, 3)), axis=1)
+            rows = np.arange(nf)[:, None]
+            h_trans = ht[:3, frozen].T[rows, trans_perm]
+            h_trans *= random_signs(rng, (nf, 3))
+            htn[:3, frozen] = h_trans.T
+            htn[3:, frozen] = ht[3:, frozen]
+    return htn
+
+
 def collide_adjacent_pairs(
     particles: ParticleArrays,
     pair_index: Optional[np.ndarray] = None,
@@ -247,6 +300,7 @@ def collide_adjacent_pairs(
         return CollisionStats(n_collisions=0, energy_exchanged=0.0)
 
     u, v, w, rot = particles.u, particles.v, particles.w, particles.rot
+    rot_flat = rot.reshape(-1) if rot.flags.c_contiguous else None
     if pair_index is None:
         # All pairs: the partner state is readable through strided
         # views -- no gathers at all (the reservoir-mix configuration,
@@ -257,6 +311,8 @@ def collide_adjacent_pairs(
         v0, v1 = v[0 : 2 * n_all : 2], v[1 : 2 * n_all : 2]
         w0, w1 = w[0 : 2 * n_all : 2], w[1 : 2 * n_all : 2]
         r0, r1 = rot[0 : 2 * n_all : 2], rot[1 : 2 * n_all : 2]
+        r0c = [r0[:, j] for j in range(rdof)]
+        r1c = [r1[:, j] for j in range(rdof)]
     else:
         # Accepted subset: 1-D takes per partner are the fastest gather
         # NumPy offers (fancy row indexing is ~5x slower).
@@ -266,53 +322,180 @@ def collide_adjacent_pairs(
         v0, v1 = np.take(v, a), np.take(v, b)
         w0, w1 = np.take(w, a), np.take(w, b)
         r0, r1 = np.take(rot, a, axis=0), np.take(rot, b, axis=0)
+        r0c = [r0[:, j] for j in range(rdof)]
+        r1c = [r1[:, j] for j in range(rdof)]
+        if rot_flat is not None:
+            ar = a * rdof
+            br = b * rdof
 
-    # Means (conserved) and half-relatives (eqs. (12)-(15)).
+    # Means (conserved) and half-relatives (eqs. (12)-(15)), built
+    # component-major: every per-component slice below is a contiguous
+    # row, not a strided column.
     wu = 0.5 * (u0 + u1)
     wv = 0.5 * (v0 + v1)
     ww = 0.5 * (w0 + w1)
-    smean = 0.5 * (r0 + r1)
+    smean = np.empty((rdof, m))
+    ht = np.empty((k, m))
+    np.subtract(u0, u1, out=ht[0])
+    np.subtract(v0, v1, out=ht[1])
+    np.subtract(w0, w1, out=ht[2])
+    for j in range(rdof):
+        np.add(r0c[j], r1c[j], out=smean[j])
+        np.subtract(r0c[j], r1c[j], out=ht[3 + j])
+    ht *= 0.5
+    smean *= 0.5
 
-    h = np.empty((m, k))
-    h[:, 0] = u0
-    h[:, 0] -= u1
-    h[:, 1] = v0
-    h[:, 1] -= v1
-    h[:, 2] = w0
-    h[:, 2] -= w1
-    h[:, 3:] = r0
-    h[:, 3:] -= r1
-    h *= 0.5
-
-    h_new = _mixed_half_relatives(
-        h, np.take(particles.perm, a, axis=0), rng, signs,
+    htn = _mixed_half_relatives_t(
+        ht, np.take(particles.perm, a, axis=0), rng, signs,
         internal_exchange_probability, k,
     )
 
-    e_trans_before = h[:, 0] ** 2 + h[:, 1] ** 2 + h[:, 2] ** 2
+    e_trans_before = ht[0] ** 2 + ht[1] ** 2 + ht[2] ** 2
 
     # Reconstruct post-collision states (momentum: mean +- relative);
     # 1-D fancy scatters per partner (or the strided views directly).
     if pair_index is None:
-        u0[:] = wu + h_new[:, 0]
-        u1[:] = wu - h_new[:, 0]
-        v0[:] = wv + h_new[:, 1]
-        v1[:] = wv - h_new[:, 1]
-        w0[:] = ww + h_new[:, 2]
-        w1[:] = ww - h_new[:, 2]
-        r0[:] = smean + h_new[:, 3:]
-        r1[:] = smean - h_new[:, 3:]
+        u0[:] = wu + htn[0]
+        u1[:] = wu - htn[0]
+        v0[:] = wv + htn[1]
+        v1[:] = wv - htn[1]
+        w0[:] = ww + htn[2]
+        w1[:] = ww - htn[2]
+        for j in range(rdof):
+            r0c[j][:] = smean[j] + htn[3 + j]
+            r1c[j][:] = smean[j] - htn[3 + j]
     else:
-        u[a] = wu + h_new[:, 0]
-        u[b] = wu - h_new[:, 0]
-        v[a] = wv + h_new[:, 1]
-        v[b] = wv - h_new[:, 1]
-        w[a] = ww + h_new[:, 2]
-        w[b] = ww - h_new[:, 2]
-        rot[a] = smean + h_new[:, 3:]
-        rot[b] = smean - h_new[:, 3:]
+        u[a] = wu + htn[0]
+        u[b] = wu - htn[0]
+        v[a] = wv + htn[1]
+        v[b] = wv - htn[1]
+        w[a] = ww + htn[2]
+        w[b] = ww - htn[2]
+        if rot_flat is not None:
+            # Flat 1-D scatters replace the 2-D fancy row scatter
+            # (the old kernel's single most expensive op).
+            for j in range(rdof):
+                rot_flat[ar + j] = smean[j] + htn[3 + j]
+                rot_flat[br + j] = smean[j] - htn[3 + j]
+        else:
+            for j in range(rdof):
+                rot[a, j] = smean[j] + htn[3 + j]
+                rot[b, j] = smean[j] - htn[3 + j]
 
-    e_trans_after = h_new[:, 0] ** 2 + h_new[:, 1] ** 2 + h_new[:, 2] ** 2
+    e_trans_after = htn[0] ** 2 + htn[1] ** 2 + htn[2] ** 2
+
+    if transpositions is None:
+        if rng is None:
+            raise ConfigurationError("need rng or explicit transpositions")
+        transpositions = rng.integers(0, k, size=2 * m)
+    else:
+        transpositions = np.asarray(transpositions)
+        if transpositions.shape != (2 * m,):
+            raise ConfigurationError("need 2 * n_pairs transposition draws")
+    _transpose_rows(particles.perm, a, transpositions[:m])
+    _transpose_rows(particles.perm, b, transpositions[m:])
+
+    return CollisionStats(
+        n_collisions=m,
+        energy_exchanged=float(np.abs(e_trans_after - e_trans_before).sum()),
+    )
+
+
+def collide_rows_with_velocities(
+    particles: ParticleArrays,
+    a_rows: np.ndarray,
+    b_rows: np.ndarray,
+    u0: np.ndarray,
+    u1: np.ndarray,
+    v0: np.ndarray,
+    v1: np.ndarray,
+    w0: np.ndarray,
+    w1: np.ndarray,
+    rng: Optional[np.random.Generator] = None,
+    signs: Optional[np.ndarray] = None,
+    transpositions: Optional[np.ndarray] = None,
+    internal_exchange_probability: float = 1.0,
+) -> CollisionStats:
+    """Collide arbitrary row pairs whose velocities are already gathered.
+
+    The fused selection/collision kernel's entry point: the selection
+    pass has *already* gathered each pair's translational velocity
+    components (it needed them for the relative speed), so re-gathering
+    them here -- as :func:`collide_pairs` would -- wastes six scattered
+    reads per pair.  This variant accepts the pre-gathered ``u0/u1``,
+    ``v0/v1``, ``w0/w1`` arrays (one entry per accepted pair, aligned
+    with ``a_rows``/``b_rows``) and only gathers what selection never
+    touched: rotational state and permutation vectors.
+
+    Physics is byte-for-byte :func:`collide_pairs`: the same
+    :func:`_mixed_half_relatives` shuffle, the same mean +- relative
+    reconstruction, the same transposition refresh, and the same RNG
+    consumption order (signs, then the optional internal-exchange
+    draws, then transpositions) -- pinned by a unit equivalence test.
+    The input velocity arrays are not modified.
+    """
+    a = np.asarray(a_rows)
+    b = np.asarray(b_rows)
+    if a.shape != b.shape:
+        raise ConfigurationError("a_rows/b_rows shapes differ")
+    m = a.shape[0]
+    k = 3 + particles.rotational_dof
+    if m == 0:
+        return CollisionStats(n_collisions=0, energy_exchanged=0.0)
+
+    rdof = particles.rotational_dof
+    rot = particles.rot
+    rot_flat = rot.reshape(-1) if rot.flags.c_contiguous else None
+    # Row gather touches each pair's cache line once (vs twice for
+    # per-component flat takes); the write-back below still uses flat
+    # 1-D scatters, which measure faster than the 2-D row scatter.
+    r0, r1 = np.take(rot, a, axis=0), np.take(rot, b, axis=0)
+    r0c = [r0[:, j] for j in range(rdof)]
+    r1c = [r1[:, j] for j in range(rdof)]
+    if rot_flat is not None:
+        ar = a * rdof
+        br = b * rdof
+
+    # Means (conserved) and half-relatives (eqs. (12)-(15)), built
+    # component-major (see :func:`_mixed_half_relatives_t`).
+    wu = 0.5 * (u0 + u1)
+    wv = 0.5 * (v0 + v1)
+    ww = 0.5 * (w0 + w1)
+    smean = np.empty((rdof, m))
+    ht = np.empty((k, m))
+    np.subtract(u0, u1, out=ht[0])
+    np.subtract(v0, v1, out=ht[1])
+    np.subtract(w0, w1, out=ht[2])
+    for j in range(rdof):
+        np.add(r0c[j], r1c[j], out=smean[j])
+        np.subtract(r0c[j], r1c[j], out=ht[3 + j])
+    ht *= 0.5
+    smean *= 0.5
+
+    htn = _mixed_half_relatives_t(
+        ht, np.take(particles.perm, a, axis=0), rng, signs,
+        internal_exchange_probability, k,
+    )
+
+    e_trans_before = ht[0] ** 2 + ht[1] ** 2 + ht[2] ** 2
+
+    u, v, w = particles.u, particles.v, particles.w
+    u[a] = wu + htn[0]
+    u[b] = wu - htn[0]
+    v[a] = wv + htn[1]
+    v[b] = wv - htn[1]
+    w[a] = ww + htn[2]
+    w[b] = ww - htn[2]
+    if rot_flat is not None:
+        for j in range(rdof):
+            rot_flat[ar + j] = smean[j] + htn[3 + j]
+            rot_flat[br + j] = smean[j] - htn[3 + j]
+    else:
+        for j in range(rdof):
+            rot[a, j] = smean[j] + htn[3 + j]
+            rot[b, j] = smean[j] - htn[3 + j]
+
+    e_trans_after = htn[0] ** 2 + htn[1] ** 2 + htn[2] ** 2
 
     if transpositions is None:
         if rng is None:

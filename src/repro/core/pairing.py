@@ -87,6 +87,154 @@ def even_odd_pairs(cell_sorted: np.ndarray, scratch=None) -> CandidatePairs:
     )
 
 
+@dataclass(frozen=True)
+class ReflectionPairs:
+    """Per-cell reflection pairing of an *indexed* canonical order.
+
+    Produced by :func:`reflection_pairs` for the incremental sort
+    kernel: every pair is same-cell by construction (no boundary
+    straddle, no ``same_cell`` mask) and the members are particle *row*
+    indices gathered through the canonical order, not sorted
+    addresses.
+
+    Attributes
+    ----------
+    first, second:
+        Particle rows of each pair's two members.
+    cell:
+        The (shared) cell index of each pair -- the selection kernel's
+        density lookup key, precomputed here because the pairing
+        already expanded it.
+    """
+
+    first: np.ndarray
+    second: np.ndarray
+    cell: np.ndarray
+
+    @property
+    def n_pairs(self) -> int:
+        return self.first.shape[0]
+
+    @property
+    def n_candidates(self) -> int:
+        # Reflection pairs are same-cell by construction.
+        return self.first.shape[0]
+
+
+def reflection_slots(m: int, s: int) -> list:
+    """Slot pairs of one cell of ``m`` members under reflection ``s``.
+
+    The scalar reference for :func:`reflection_pairs` (exhaustively
+    testable): pair the cell's slots ``0..m-1`` using the involution
+    ``a + b = s (mod m)``.  For odd ``s`` the map ``b = (s - a) mod m``
+    is a perfect matching of all slots when ``m`` is even (and leaves
+    exactly one fixed point unpaired when ``m`` is odd); for even ``s``
+    the two fixed points of the involution are paired *with each
+    other* (even ``m``) so no slot is wasted.  Every ``s`` yields
+    ``m // 2`` disjoint pairs, each slot's partner is uniform over the
+    cell across ``s`` draws, and a slot is never paired with itself.
+    """
+    q, odd = s >> 1, s & 1
+    out = []
+    for kk in range(m // 2):
+        if odd:
+            a, b = (q - kk) % m, (q + 1 + kk) % m
+        else:
+            d = kk + 1
+            a, b = (q - d) % m, (q + d) % m
+            if 2 * d == m:
+                # Degenerate reflection rank: a == b.  Pair the two
+                # fixed points of the involution (q and q + m/2)
+                # together instead of dropping them.
+                a = q % m
+        out.append((a, b))
+    return out
+
+
+def reflection_pairs(
+    order: np.ndarray,
+    counts: np.ndarray,
+    offsets: np.ndarray,
+    rng: np.random.Generator,
+    scratch=None,
+) -> ReflectionPairs:
+    """Randomized same-cell pairing over a canonical indexed order.
+
+    The incremental kernel's replacement for sort-then-even/odd: the
+    canonical order is deterministic (no intra-cell shuffle), so the
+    per-step randomness moves into the *pairing* -- each cell draws one
+    reflection offset ``s`` uniform over its occupancy and pairs slot
+    ``a`` with slot ``b`` where ``a + b = s (mod m)``
+    (:func:`reflection_slots`).  One draw per cell per step replaces a
+    full random permutation of the population, and every formed pair is
+    same-cell, so the pairing efficiency is exactly
+    ``sum(m_c // 2) / (n // 2)`` -- no candidates lost to cell-boundary
+    straddle.
+
+    RNG contract: consumes exactly one ``rng.integers`` call over all
+    cells (empty cells draw against a bound of 1), so the stream
+    position after pairing depends only on the per-cell ``counts`` --
+    which are path-independent -- never on the order's repair/rebuild
+    history.
+
+    Returns particle-row pairs gathered through ``order``; ``scratch``
+    backs the returned arrays (transient intermediates are fine -- the
+    retained-memory guarantee is what the perf guard enforces).
+    """
+    n_cells = counts.shape[0]
+    # One bounded draw per cell, including empty ones: deterministic
+    # stream consumption given counts.
+    s = rng.integers(0, np.maximum(counts, 1))
+    pair_counts = counts >> 1
+    n_pairs = int(pair_counts.sum())
+    if scratch is not None:
+        first = scratch.array("rp_first", n_pairs, dtype=np.intp)
+        second = scratch.array("rp_second", n_pairs, dtype=np.intp)
+        pair_cell = scratch.array("rp_cell", n_pairs, dtype=np.int64)
+    else:
+        first = np.empty(n_pairs, dtype=np.intp)
+        second = np.empty(n_pairs, dtype=np.intp)
+        pair_cell = np.empty(n_pairs, dtype=np.int64)
+    if n_pairs == 0:
+        return ReflectionPairs(first=first, second=second, cell=pair_cell)
+    # Transient P- and C-sized expansions (np.repeat has no out=); the
+    # guard budget tracks retained memory, not peak.
+    pair_cell[:] = np.repeat(np.arange(n_cells, dtype=np.int64),
+                             pair_counts)
+    pair_start = np.cumsum(pair_counts) - pair_counts
+    kk = np.arange(n_pairs, dtype=np.int64) - np.repeat(pair_start,
+                                                        pair_counts)
+    m = counts[pair_cell]
+    sp = s[pair_cell]
+    q = sp >> 1
+    odd = sp & 1
+    a_loc = q - kk - 1 + odd
+    b_loc = q + 1 + kk
+    # Degenerate reflection rank (even s, even m, last pair): handled
+    # per *cell*, not per pair -- at most one pair per cell qualifies,
+    # so a C-sized mask beats a P-sized one.
+    deg_cells = np.flatnonzero(
+        ((counts & 1) == 0) & ((s & 1) == 0) & (pair_counts > 0)
+    )
+    if deg_cells.shape[0]:
+        a_loc[pair_start[deg_cells] + pair_counts[deg_cells] - 1] = (
+            s[deg_cells] >> 1
+        )
+    # Range reduction without the division behind ``%``: a_loc sits in
+    # (-m, m) and b_loc in [1, 2m), so one conditional +/- m folds each
+    # into [0, m).  ``x >> 63`` is all-ones exactly when x < 0, making
+    # ``x += (x >> 63) & m`` a branch-free conditional add.
+    a_loc += (a_loc >> 63) & m
+    b_loc -= m
+    b_loc += (b_loc >> 63) & m
+    base = offsets[pair_cell]
+    a_loc += base
+    b_loc += base
+    np.take(order, a_loc, out=first, mode="clip")
+    np.take(order, b_loc, out=second, mode="clip")
+    return ReflectionPairs(first=first, second=second, cell=pair_cell)
+
+
 def pairing_efficiency(pairs: CandidatePairs) -> float:
     """Fraction of formed pairs that are same-cell candidates.
 

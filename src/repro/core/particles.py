@@ -157,6 +157,14 @@ class ParticleArrays:
         # shard segments): capacity is then a hard ceiling, never
         # silently replaced by fresh heap arrays.
         self._fixed_capacity: bool = False
+        #: Row-surgery listener (the incremental sort kernel).  When
+        #: set, every operation that changes which particle occupies
+        #: which row notifies it: ``on_remove(holes, src, n_new)`` for
+        #: backfill removal, ``on_append(n_before, m)`` for appended
+        #: rows, ``on_invalidate()`` for wholesale re-orderings.  The
+        #: listener is identity-bound to *this* object; populations
+        #: built by select/concatenate start with no listener.
+        self.order_listener = None
 
     # -- construction -----------------------------------------------------
 
@@ -434,6 +442,8 @@ class ParticleArrays:
         positional columns are meaningless placeholders).
         """
         names = COLUMN_NAMES if columns is None else columns
+        if self.order_listener is not None:
+            self.order_listener.on_invalidate()
         if self._front is None:
             for name in names:
                 setattr(self, name, getattr(self, name)[order])
@@ -459,6 +469,8 @@ class ParticleArrays:
         """
         if self._front is None:
             raise ConfigurationError("compact_inplace requires enable_scratch")
+        if self.order_listener is not None:
+            self.order_listener.on_invalidate()
         k = keep_index.shape[0]
         for name in COLUMN_NAMES:
             np.take(
@@ -489,6 +501,8 @@ class ParticleArrays:
             for name in COLUMN_NAMES:
                 col = self._front[name]
                 col[holes] = col[src]
+            if self.order_listener is not None:
+                self.order_listener.on_remove(holes, src, n_new)
         for name in COLUMN_NAMES:
             setattr(self, name, self._front[name][:n_new])
 
@@ -506,6 +520,8 @@ class ParticleArrays:
         for name in COLUMN_NAMES:
             self._front[name][n : n + m] = getattr(other, name)
             setattr(self, name, self._front[name][: n + m])
+        if self.order_listener is not None:
+            self.order_listener.on_append(n, m)
 
     # -- migration pack/unpack (the sharded exchange) ---------------------
 
@@ -569,6 +585,8 @@ class ParticleArrays:
         self._front["perm"][n : n + m] = perm_in[:m]
         for name in COLUMN_NAMES:
             setattr(self, name, self._front[name][: n + m])
+        if self.order_listener is not None:
+            self.order_listener.on_append(n, m)
 
     @staticmethod
     def concatenate(a: "ParticleArrays", b: "ParticleArrays") -> "ParticleArrays":

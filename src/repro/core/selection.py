@@ -31,12 +31,14 @@ rule").
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from repro.core.pairing import CandidatePairs
+from repro.core.collision import collide_rows_with_velocities
+from repro.core.pairing import CandidatePairs, ReflectionPairs
 from repro.core.particles import ParticleArrays
 from repro.errors import ConfigurationError
 from repro.physics.freestream import Freestream
@@ -76,19 +78,35 @@ class SelectionResult:
 def pair_relative_speed(
     particles: ParticleArrays, pairs: CandidatePairs
 ) -> np.ndarray:
-    """Translational relative speed |c1 - c2| of every formed pair."""
+    """Translational relative speed |c1 - c2| of every formed pair.
+
+    With scratch enabled the differences land in pooled buffers
+    (``sel_du``/``sel_dv``/``sel_dw``) -- on the adjacent hot path that
+    makes the whole computation allocation-free (strided reads, pooled
+    writes).  The arithmetic is identical either way.
+    """
+    n_pairs = pairs.n_pairs
+    scratch = particles.scratch
+    if scratch is not None:
+        du = scratch.array("sel_du", n_pairs)
+        dv = scratch.array("sel_dv", n_pairs)
+        dw = scratch.array("sel_dw", n_pairs)
+    else:
+        du = np.empty(n_pairs)
+        dv = np.empty(n_pairs)
+        dw = np.empty(n_pairs)
     if pairs.adjacent:
         # Pair i occupies rows (2i, 2i+1): strided views replace the
         # six scattered gathers of the generic path.
-        m = 2 * pairs.n_pairs
-        du = particles.u[0:m:2] - particles.u[1:m:2]
-        dv = particles.v[0:m:2] - particles.v[1:m:2]
-        dw = particles.w[0:m:2] - particles.w[1:m:2]
+        m = 2 * n_pairs
+        np.subtract(particles.u[0:m:2], particles.u[1:m:2], out=du)
+        np.subtract(particles.v[0:m:2], particles.v[1:m:2], out=dv)
+        np.subtract(particles.w[0:m:2], particles.w[1:m:2], out=dw)
     else:
         a, b = pairs.first, pairs.second
-        du = particles.u[a] - particles.u[b]
-        dv = particles.v[a] - particles.v[b]
-        dw = particles.w[a] - particles.w[b]
+        np.subtract(particles.u[a], particles.u[b], out=du)
+        np.subtract(particles.v[a], particles.v[b], out=dv)
+        np.subtract(particles.w[a], particles.w[b], out=dw)
     du *= du
     dv *= dv
     dw *= dw
@@ -146,7 +164,14 @@ def collision_probabilities(
         density_table = counts / vf
     else:
         density_table = counts
-    prob = np.take(density_table, cells)
+    scratch = particles.scratch
+    if scratch is not None:
+        # mode="clip": cell indices are clipped into range upstream
+        # (assign_cells); "raise" would buffer the out array.
+        prob = scratch.array("sel_prob", n_pairs)
+        np.take(density_table, cells, out=prob, mode="clip")
+    else:
+        prob = np.take(density_table, cells)
     prob *= freestream.collision_probability / freestream.density
     expo = model.speed_exponent
     if expo != 0.0:
@@ -184,5 +209,178 @@ def select_collisions(
         draws = np.asarray(draws, dtype=np.float64)
         if draws.shape != (pairs.n_pairs,):
             raise ConfigurationError("draws must have one entry per pair")
-    accept = draws < prob
+    scratch = particles.scratch
+    if scratch is not None:
+        accept = scratch.array("sel_accept", pairs.n_pairs, dtype=bool)
+        np.less(draws, prob, out=accept)
+    else:
+        accept = draws < prob
     return SelectionResult(accept=accept, probability=prob, relative_speed=g)
+
+
+@dataclass(frozen=True)
+class FusedSelectCollideResult:
+    """Diagnostics from one fused selection+collision pass.
+
+    Attributes
+    ----------
+    n_candidates:
+        Pairs evaluated by the selection rule (every reflection pair is
+        same-cell, so all formed pairs are candidates).
+    n_collisions:
+        Pairs accepted and collided.
+    probability_sum:
+        Sum of the per-pair collision probabilities (mean probability =
+        ``probability_sum / n_candidates``).
+    t_boundary:
+        ``perf_counter`` stamp taken between the acceptance draw and
+        the collision physics -- the driver splits the fused pass into
+        the paper's ``selection`` / ``collision`` ledger phases at this
+        timestamp.
+    """
+
+    n_candidates: int
+    n_collisions: int
+    probability_sum: float
+    t_boundary: float
+
+
+def fused_select_collide(
+    particles: ParticleArrays,
+    rpairs: ReflectionPairs,
+    freestream: Freestream,
+    model: MolecularModel,
+    cell_counts: np.ndarray,
+    volume_fractions: Optional[np.ndarray] = None,
+    rng: Optional[np.random.Generator] = None,
+    internal_exchange_probability: float = 1.0,
+) -> FusedSelectCollideResult:
+    """Selection rule and collision physics in one gather/scatter pass.
+
+    The incremental kernel's hot path.  The classic pipeline gathers
+    each pair's velocities once for the relative speed, throws them
+    away, and re-gathers them (plus rotational state) in the collision
+    kernel.  Here the selection rule touches velocities only when the
+    molecular model actually needs them: for Maxwell molecules (eq. 8)
+    the probability is a pure density lookup by pair cell, so the full
+    population is never gathered at all -- only the *accepted subset*
+    is, and those values flow straight into
+    :func:`repro.core.collision.collide_rows_with_velocities`.  For
+    speed-dependent models (eq. 7) the six translational gathers happen
+    once into the scratch pool, feed the probability, and the accepted
+    subset is taken from the already-gathered pair-aligned arrays.
+    Either way there are no full-population candidate index arrays and
+    no second pass over the pair set.
+
+    RNG consumption order is the same as ``select_collisions`` followed
+    by ``collide_pairs``: acceptance draws (one per formed pair), then
+    collision signs, then the optional internal-exchange draws, then
+    the permutation-refresh transpositions.  A seeded generator
+    therefore produces bitwise identical post-collision state to the
+    unfused reference on the same pair list -- pinned by a unit test.
+    """
+    if rng is None:
+        raise ConfigurationError("fused_select_collide requires rng")
+    a, b = rpairs.first, rpairs.second
+    n_pairs = rpairs.n_pairs
+    scratch = particles.scratch
+
+    def buf(name, dtype=np.float64, n=n_pairs):
+        if scratch is not None:
+            return scratch.array(name, n, dtype=dtype)
+        return np.empty(n, dtype=dtype)
+
+    needs_speed = (
+        not freestream.is_near_continuum and model.speed_exponent != 0.0
+    )
+    if needs_speed:
+        u0, u1 = buf("fs_u0"), buf("fs_u1")
+        v0, v1 = buf("fs_v0"), buf("fs_v1")
+        w0, w1 = buf("fs_w0"), buf("fs_w1")
+        np.take(particles.u, a, out=u0, mode="clip")
+        np.take(particles.u, b, out=u1, mode="clip")
+        np.take(particles.v, a, out=v0, mode="clip")
+        np.take(particles.v, b, out=v1, mode="clip")
+        np.take(particles.w, a, out=w0, mode="clip")
+        np.take(particles.w, b, out=w1, mode="clip")
+
+    prob = buf("fs_prob")
+    if freestream.is_near_continuum:
+        # The lambda -> 0 validation limit: every candidate collides.
+        prob[:n_pairs] = 1.0
+    else:
+        counts = np.asarray(cell_counts, dtype=np.float64)
+        if volume_fractions is not None:
+            vf = np.maximum(
+                np.asarray(volume_fractions, dtype=np.float64),
+                MIN_VOLUME_FRACTION,
+            )
+            density_table = counts / vf
+        else:
+            density_table = counts
+        np.take(density_table, rpairs.cell, out=prob, mode="clip")
+        prob *= freestream.collision_probability / freestream.density
+        if needs_speed:
+            # Only the speed-dependent models need the relative speed;
+            # reuse the gathered components without destroying them.
+            du, dv, dw = buf("fs_du"), buf("fs_dv"), buf("fs_dw")
+            np.subtract(u0, u1, out=du)
+            np.subtract(v0, v1, out=dv)
+            np.subtract(w0, w1, out=dw)
+            du *= du
+            dv *= dv
+            dw *= dw
+            du += dv
+            du += dw
+            g = np.sqrt(du, out=du)
+            g_ref = np.sqrt(2.0) * freestream.mean_speed
+            prob *= model.speed_factor(g, g_ref)
+        np.minimum(prob, 1.0, out=prob)
+
+    draws = buf("fs_draws")
+    rng.random(out=draws)
+    accept = buf("fs_accept", dtype=bool)
+    np.less(draws, prob, out=accept)
+    probability_sum = float(prob.sum())
+    accepted = np.flatnonzero(accept)
+    n_acc = accepted.shape[0]
+    t_boundary = time.perf_counter()
+
+    a_rows = buf("fs_arows", dtype=np.intp, n=n_acc)
+    b_rows = buf("fs_brows", dtype=np.intp, n=n_acc)
+    np.take(a, accepted, out=a_rows, mode="clip")
+    np.take(b, accepted, out=b_rows, mode="clip")
+    au0, au1 = buf("fs_au0", n=n_acc), buf("fs_au1", n=n_acc)
+    av0, av1 = buf("fs_av0", n=n_acc), buf("fs_av1", n=n_acc)
+    aw0, aw1 = buf("fs_aw0", n=n_acc), buf("fs_aw1", n=n_acc)
+    if needs_speed:
+        # Accepted-subset gathers from the pair-aligned arrays already
+        # in cache: the fusion win over re-gathering the population.
+        np.take(u0, accepted, out=au0, mode="clip")
+        np.take(u1, accepted, out=au1, mode="clip")
+        np.take(v0, accepted, out=av0, mode="clip")
+        np.take(v1, accepted, out=av1, mode="clip")
+        np.take(w0, accepted, out=aw0, mode="clip")
+        np.take(w1, accepted, out=aw1, mode="clip")
+    else:
+        # Maxwell fast path: velocities were never gathered for the
+        # probability, so gather just the accepted rows -- an O(A)
+        # touch instead of O(P).
+        np.take(particles.u, a_rows, out=au0, mode="clip")
+        np.take(particles.u, b_rows, out=au1, mode="clip")
+        np.take(particles.v, a_rows, out=av0, mode="clip")
+        np.take(particles.v, b_rows, out=av1, mode="clip")
+        np.take(particles.w, a_rows, out=aw0, mode="clip")
+        np.take(particles.w, b_rows, out=aw1, mode="clip")
+
+    stats = collide_rows_with_velocities(
+        particles, a_rows, b_rows, au0, au1, av0, av1, aw0, aw1,
+        rng=rng,
+        internal_exchange_probability=internal_exchange_probability,
+    )
+    return FusedSelectCollideResult(
+        n_candidates=n_pairs,
+        n_collisions=stats.n_collisions,
+        probability_sum=probability_sum,
+        t_boundary=t_boundary,
+    )

@@ -14,6 +14,7 @@ in fixed point with cost accounting.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -24,12 +25,16 @@ from repro.core import motion
 from repro.core.boundary import BoundaryStats, WindTunnelBoundaries
 from repro.core.cells import assign_cells
 from repro.core.collision import collide_adjacent_pairs, collide_pairs
-from repro.core.pairing import even_odd_pairs, pairing_efficiency
+from repro.core.pairing import (
+    even_odd_pairs,
+    pairing_efficiency,
+    reflection_pairs,
+)
 from repro.core.particles import ParticleArrays
 from repro.core.reservoir import Reservoir
 from repro.core.sampling import CellSampler
-from repro.core.selection import select_collisions
-from repro.core.sortstep import sort_by_cell
+from repro.core.selection import fused_select_collide, select_collisions
+from repro.core.sortstep import IncrementalSorter, sort_by_cell
 from repro.errors import ConfigurationError
 from repro.geometry.domain import Domain
 from repro.perf import PerfLedger
@@ -64,6 +69,14 @@ class SimulationConfig:
     sort_scale:
         Randomization factor of the sort keys (1 disables mixing; the
         ablation configuration).
+    sort_kernel:
+        Hot-path ordering kernel: ``"incremental"`` (default) maintains
+        an indexed cell-contiguous order across steps (temporal
+        coherence; host-performance mode), ``"counting"`` physically
+        re-sorts every step with the fused counting sort (the
+        paper-faithful CM-2 rank-sort analogue, bitwise identical to
+        the pre-incremental engine), ``"scaled-key"`` the legacy wide
+        argsort.  ``hotpath=False`` runs always use ``"scaled-key"``.
     plunger_trigger:
         Upstream plunger withdrawal point, cell widths.
     reservoir_fraction:
@@ -80,6 +93,7 @@ class SimulationConfig:
     wedge: Optional[Wedge] = field(default_factory=Wedge)
     model: MolecularModel = field(default_factory=maxwell_molecule)
     sort_scale: int = DEFAULT_SORT_SCALE
+    sort_kernel: str = "incremental"
     plunger_trigger: float = 4.0
     reservoir_fraction: float = 0.1
     reservoir_mix_rounds: int = 1
@@ -93,6 +107,11 @@ class SimulationConfig:
             raise ConfigurationError("reservoir_fraction must be in [0, 1]")
         if self.reservoir_mix_rounds < 0:
             raise ConfigurationError("reservoir_mix_rounds must be >= 0")
+        if self.sort_kernel not in ("incremental", "counting", "scaled-key"):
+            raise ConfigurationError(
+                f"unknown sort_kernel {self.sort_kernel!r}; expected "
+                "'incremental', 'counting' or 'scaled-key'"
+            )
         self.freestream.check_selection_rule_validity()
 
     def _warn_if_detached(self) -> None:
@@ -138,6 +157,13 @@ class StepDiagnostics:
     boundary: BoundaryStats
     total_energy: float
     momentum_x: float
+    #: Fraction of flow particles whose cell changed this step
+    #: (``None`` outside the incremental sort kernel).
+    sort_moved_fraction: Optional[float] = None
+    #: Full order rebuilds performed this step: 0/1 serially, up to the
+    #: worker count on sharded runs (``None`` outside the incremental
+    #: kernel).
+    sort_rebuilds: Optional[int] = None
     #: Wall-clock seconds by phase for this step (from the perf ledger;
     #: ``None`` when the ledger is disabled).
     phase_seconds: Optional[dict] = None
@@ -191,62 +217,129 @@ class SerialBackend:
                 parts, sim.reservoir, sim.rng
             )
 
-        # 3a) Cell indexing + the fused counting sort: one kernel
-        #    yields the sorted order *and* the per-cell histogram the
-        #    selection rule needs (no separate bincount pass).
-        with perf.phase("sort"):
-            assign_cells(parts, cfg.domain)
-            sort_res = sort_by_cell(
-                parts, rng=sim.rng, scale=cfg.sort_scale,
-                n_cells=cfg.domain.n_cells,
-                kernel="counting" if sim.hotpath else "scaled-key",
-            )
-            counts = sort_res.counts
+        sort_moved_fraction = None
+        sort_rebuilds = None
+        if sim.sort_state is not None:
+            # 3a-inc) Temporal-coherence path: cell indexing + mover
+            #    detection are the "index" phase (outside the paper's
+            #    four-phase split); "sort" is only the order
+            #    maintenance -- merge repair or narrow-key rebuild plus
+            #    the histogram refresh.  No particle data moves.
+            with perf.phase("index"):
+                assign_cells(parts, cfg.domain)
+                sim.sort_state.detect(parts)
+            with perf.phase("sort"):
+                sres = sim.sort_state.update(parts)
+            sort_moved_fraction = sres.moved_fraction
+            sort_rebuilds = 1 if sres.rebuilt else 0
 
-        # 3b) Pairing + the selection rule.
-        with perf.phase("selection"):
-            pairs = even_odd_pairs(parts.cell, scratch=parts.scratch)
-            if parts.scratch is not None:
-                draws = parts.scratch.array("sel_draws", pairs.n_pairs)
-                sim.rng.random(out=draws)
-            else:
-                draws = None
-            selection = select_collisions(
+            # 3b+4-inc) Reflection pairing, then the fused selection/
+            #    collision pass.  The fused kernel hands back the
+            #    timestamp of its internal selection/collision boundary
+            #    so the ledger keeps the paper's two line items.
+            t_sel0 = time.perf_counter()
+            rpairs = reflection_pairs(
+                sres.order, sres.counts, sres.offsets, sim.rng,
+                scratch=parts.scratch,
+            )
+            fused = fused_select_collide(
                 parts,
-                pairs,
+                rpairs,
                 cfg.freestream,
                 cfg.model,
-                counts,
+                sres.counts,
                 volume_fractions=sim._vf_flat,
                 rng=sim.rng,
-                draws=draws,
+                internal_exchange_probability=(
+                    cfg.model.internal_exchange_probability
+                ),
             )
+            t_end = time.perf_counter()
+            perf.record("selection", fused.t_boundary - t_sel0)
+            perf.record("collision", t_end - fused.t_boundary)
+            if perf.enabled and perf.tracer is not None:
+                perf.tracer.record("selection", t_sel0, fused.t_boundary)
+                perf.tracer.record("collision", fused.t_boundary, t_end)
 
-        # 4) Collision of selected partners.  Sorted even/odd pairs are
-        #    adjacent rows, so the hot path collides contiguous two-row
-        #    blocks instead of gather/scatter by address.
-        with perf.phase("collision"):
-            if sim.hotpath and pairs.adjacent:
-                collide_adjacent_pairs(
-                    parts,
-                    np.flatnonzero(selection.accept),
-                    rng=sim.rng,
-                    internal_exchange_probability=(
-                        cfg.model.internal_exchange_probability
-                    ),
+            n_candidates = rpairs.n_pairs
+            n_collisions = fused.n_collisions
+            pair_eff = (
+                rpairs.n_pairs / (parts.n // 2) if parts.n >= 2 else 0.0
+            )
+            mean_p = (
+                fused.probability_sum / rpairs.n_pairs
+                if rpairs.n_pairs else 0.0
+            )
+        else:
+            # 3a) Cell indexing + the fused counting sort: one kernel
+            #    yields the sorted order *and* the per-cell histogram
+            #    the selection rule needs (no separate bincount pass).
+            with perf.phase("sort"):
+                assign_cells(parts, cfg.domain)
+                kernel = "scaled-key"
+                if sim.hotpath and cfg.sort_kernel != "incremental":
+                    kernel = cfg.sort_kernel
+                elif sim.hotpath:
+                    kernel = "counting"
+                sort_res = sort_by_cell(
+                    parts, rng=sim.rng, scale=cfg.sort_scale,
+                    n_cells=cfg.domain.n_cells,
+                    kernel=kernel,
                 )
-            else:
-                first = pairs.first[selection.accept]
-                second = pairs.second[selection.accept]
-                collide_pairs(
+                counts = sort_res.counts
+
+            # 3b) Pairing + the selection rule.
+            with perf.phase("selection"):
+                pairs = even_odd_pairs(parts.cell, scratch=parts.scratch)
+                if parts.scratch is not None:
+                    draws = parts.scratch.array("sel_draws", pairs.n_pairs)
+                    sim.rng.random(out=draws)
+                else:
+                    draws = None
+                selection = select_collisions(
                     parts,
-                    first,
-                    second,
+                    pairs,
+                    cfg.freestream,
+                    cfg.model,
+                    counts,
+                    volume_fractions=sim._vf_flat,
                     rng=sim.rng,
-                    internal_exchange_probability=(
-                        cfg.model.internal_exchange_probability
-                    ),
+                    draws=draws,
                 )
+
+            # 4) Collision of selected partners.  Sorted even/odd pairs
+            #    are adjacent rows, so the hot path collides contiguous
+            #    two-row blocks instead of gather/scatter by address.
+            with perf.phase("collision"):
+                if sim.hotpath and pairs.adjacent:
+                    collide_adjacent_pairs(
+                        parts,
+                        np.flatnonzero(selection.accept),
+                        rng=sim.rng,
+                        internal_exchange_probability=(
+                            cfg.model.internal_exchange_probability
+                        ),
+                    )
+                else:
+                    first = pairs.first[selection.accept]
+                    second = pairs.second[selection.accept]
+                    collide_pairs(
+                        parts,
+                        first,
+                        second,
+                        rng=sim.rng,
+                        internal_exchange_probability=(
+                            cfg.model.internal_exchange_probability
+                        ),
+                    )
+            cand = pairs.same_cell
+            n_candidates = pairs.n_candidates
+            n_collisions = selection.n_collisions
+            pair_eff = pairing_efficiency(pairs)
+            mean_p = (
+                float(selection.probability[cand].mean())
+                if cand.any() else 0.0
+            )
 
         # Side work: the reservoir Gaussianizes itself.  Charged to its
         # own phase -- the paper's four-phase split does not include it.
@@ -263,22 +356,20 @@ class SerialBackend:
             for probe in sim.probes:
                 probe.sample(parts)
 
-        cand = pairs.same_cell
-        mean_p = (
-            float(selection.probability[cand].mean()) if cand.any() else 0.0
-        )
         perf.end_step(n_particles=parts.n)
         return StepDiagnostics(
             step=sim.step_count,
             n_flow=parts.n,
             n_reservoir=sim.reservoir.size,
-            n_candidates=pairs.n_candidates,
-            n_collisions=selection.n_collisions,
-            pairing_efficiency=pairing_efficiency(pairs),
+            n_candidates=n_candidates,
+            n_collisions=n_collisions,
+            pairing_efficiency=pair_eff,
             mean_collision_probability=mean_p,
             boundary=bstats,
             total_energy=parts.total_energy(),
             momentum_x=float(parts.u.sum()),
+            sort_moved_fraction=sort_moved_fraction,
+            sort_rebuilds=sort_rebuilds,
             phase_seconds=perf.last_step_seconds if perf.enabled else None,
         )
 
@@ -366,6 +457,14 @@ class Simulation:
         if self.hotpath:
             self.particles.enable_scratch()
             self.reservoir.particles.enable_scratch()
+        #: Incremental-sort state (the temporal-coherence kernel):
+        #: owns the cached per-particle cell array and the canonical
+        #: order permutation; ``None`` for the physical-sort kernels.
+        #: Sharded backends give each worker its own sorter instead.
+        if self.hotpath and config.sort_kernel == "incremental":
+            self.sort_state = IncrementalSorter(config.domain.n_cells)
+        else:
+            self.sort_state = None
         assign_cells(self.particles, config.domain)
         #: Execution backend (the seam): bound last, once every piece of
         #: state it may need to decompose or mirror exists.

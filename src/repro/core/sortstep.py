@@ -182,6 +182,12 @@ def sort_by_cell(
     cell = particles.cell
     n = cell.shape[0]
     scratch = particles.scratch
+    if kernel == "incremental":
+        raise ConfigurationError(
+            "kernel='incremental' keeps state across steps; drive it "
+            "through IncrementalSorter (as the step loop does), not "
+            "through sort_by_cell()"
+        )
     if kernel not in ("counting", "scaled-key"):
         raise ConfigurationError(f"unknown sort kernel {kernel!r}")
 
@@ -236,3 +242,282 @@ def sort_by_cell(
         else:
             counts = np.diff(edges)
     return SortStepResult(order=order, rank_shift=rank_shift, counts=counts)
+
+
+# ---------------------------------------------------------------------------
+# The incremental (temporal-coherence) kernel
+# ---------------------------------------------------------------------------
+
+#: Default moved-fraction ceiling for the O(movers) repair path.  The
+#: bench's repair-vs-rebuild sweep (``benchmarks/bench_incremental.py``)
+#: shows the uint16 radix rebuild is so cheap on a contiguous host
+#: array (~3 ms at N ~= 234k) that repair -- whose merge still pays a
+#: handful of O(N) int64 passes regardless of how few rows moved --
+#: never beats it at that scale (~9 ms even at 0.5% moved).  At the
+#: paper's time step roughly half the population moves every step
+#: anyway, so the rebuild path is the expected steady state; the low
+#: threshold keeps the repair path effectively dormant on realistic
+#: workloads while preserving it (and its path-independence contract)
+#: for strongly sub-stepped / near-equilibrium configurations and for
+#: row-surgery bookkeeping.
+DEFAULT_REBUILD_THRESHOLD = 0.05
+
+
+@dataclass(frozen=True)
+class IncrementalSortResult:
+    """Bookkeeping from one :class:`IncrementalSorter` step.
+
+    Attributes
+    ----------
+    order:
+        Canonical permutation view (length ``n``): ``order[slot]`` is
+        the particle *row* occupying sorted slot ``slot``.  Slots are
+        sorted by ``(cell, row)`` -- cell-contiguous, deterministic.
+        The particle columns themselves are **not** physically
+        reordered; downstream kernels gather through ``order``.
+    counts / offsets:
+        Per-cell populations (length ``n_cells``) and their exclusive
+        prefix sum (length ``n_cells + 1``): cell ``c`` owns slots
+        ``offsets[c]:offsets[c + 1]``.  Views into sorter-owned
+        buffers, valid until the next ``update``.
+    moved:
+        Number of rows whose cell changed since the previous step (or
+        whose row was touched by surgery); equals ``n`` after an
+        invalidation.
+    moved_fraction:
+        ``moved / n`` (1.0 when the cached state was invalid).
+    rebuilt:
+        True when this step ran the full stable-argsort rebuild rather
+        than the O(movers) merge repair.
+    """
+
+    order: np.ndarray
+    counts: np.ndarray
+    offsets: np.ndarray
+    moved: int
+    moved_fraction: float
+    rebuilt: bool
+    n: int
+
+
+class IncrementalSorter:
+    """Maintain a cell-contiguous particle *order* across steps.
+
+    The temporal-coherence kernel (``kernel="incremental"``): instead of
+    re-sorting the whole population every step and physically shuffling
+    all nine particle columns, this keeps one :data:`order` permutation
+    canonically sorted by ``(cell, row)`` and repairs it.  After motion,
+    ``detect`` compares the new cell indices against a cached copy --
+    the *movers* are the rows whose cell changed plus any rows touched
+    by row surgery (removal backfill, appended arrivals) since the last
+    step.  ``update`` then either merge-repairs the order in O(kept +
+    movers log movers) or, past :attr:`rebuild_threshold` (or after an
+    invalidation), rebuilds it with the narrow-key stable argsort.
+
+    Both paths produce the **identical** canonical order and the sorter
+    consumes **no random numbers**, so the maintained order is bitwise
+    path-independent: repair versus rebuild versus restore-from-snapshot
+    cannot change a trajectory.  Pairing randomness moves downstream
+    into :func:`repro.core.pairing.reflection_pairs`, which randomizes
+    *pair assignment within each cell* per step instead of randomizing
+    storage order -- the same statistical contract as the counting
+    kernel's bucket shuffle without ever moving particle data.
+
+    Row surgery is tracked through ``ParticleArrays.order_listener``:
+    ``prepare`` binds the sorter to a population by identity and every
+    ``remove_inplace`` / ``append_inplace`` / ``append_rows`` on it
+    marks the touched rows dirty (wholesale reorderings invalidate).
+    Binding to a *different* object (snapshot restore, gather) simply
+    invalidates -- the next step pays one rebuild, no persisted state.
+
+    This is a host-performance mode outside the CM-2 cost model; the
+    paper-faithful rank-sort analogue remains ``kernel="counting"``.
+    """
+
+    def __init__(
+        self,
+        n_cells: int,
+        rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
+    ) -> None:
+        if n_cells < 1:
+            raise ConfigurationError("n_cells must be positive")
+        if not (0.0 <= rebuild_threshold <= 1.0):
+            raise ConfigurationError(
+                "rebuild_threshold must be within [0, 1]"
+            )
+        self.n_cells = int(n_cells)
+        self.rebuild_threshold = float(rebuild_threshold)
+        #: Cumulative full-rebuild count (telemetry: ``sort_rebuilds``).
+        self.rebuilds = 0
+        self._counts = np.zeros(self.n_cells, dtype=np.int64)
+        self._offsets = np.zeros(self.n_cells + 1, dtype=np.int64)
+        # Capacity-grown per-row state.  These must persist across
+        # steps, so they live here rather than in the population's
+        # ping-pong scratch pool (whose buffers are step-transient).
+        self._prev_cell = np.empty(0, dtype=np.int64)
+        self._dirty = np.empty(0, dtype=bool)
+        self._mover = np.empty(0, dtype=bool)
+        self._order = np.empty(0, dtype=np.intp)
+        self._key16 = np.empty(0, dtype=np.uint16)
+        self._valid = False
+        self._order_n = 0
+        self._particles: Optional[ParticleArrays] = None
+        self._moved = 0
+        self._moved_fraction = 1.0
+
+    # -- ParticleArrays.order_listener protocol --------------------------
+
+    def on_remove(self, holes: np.ndarray, src: np.ndarray, n_new: int) -> None:
+        """Backfill removal: holes received tail survivors -> dirty."""
+        if self._valid:
+            self._dirty[holes] = True
+
+    def on_append(self, n_before: int, m: int) -> None:
+        """Rows ``n_before:n_before + m`` appended -> dirty."""
+        if not self._valid:
+            return
+        self._grow(n_before + m)
+        self._dirty[n_before : n_before + m] = True
+
+    def on_invalidate(self) -> None:
+        """Wholesale re-ordering: cached order is meaningless now."""
+        self._valid = False
+
+    # -- stepping --------------------------------------------------------
+
+    def prepare(self, particles: ParticleArrays) -> None:
+        """Bind to ``particles`` (by identity) and size the buffers.
+
+        Binding to a new object -- snapshot restore, a gathered
+        population, a fresh simulation -- detaches the old listener,
+        attaches to the new population and invalidates, so the next
+        ``update`` rebuilds from scratch.  No order state is ever
+        persisted or migrated: canonical order + path independence
+        make one rebuild the complete recovery story.
+        """
+        if particles is not self._particles:
+            old = self._particles
+            if old is not None and old.order_listener is self:
+                old.order_listener = None
+            self._particles = particles
+            particles.order_listener = self
+            self._valid = False
+        self._grow(particles.n)
+
+    def detect(self, particles: ParticleArrays) -> float:
+        """Find the movers; returns the moved fraction.
+
+        Call after the cell-indexing pass (``assign_cells``).  A mover
+        is a row whose cell differs from the cached previous cell or
+        that was touched by row surgery since the last ``update``.
+        """
+        self.prepare(particles)
+        n = particles.n
+        if not self._valid:
+            self._moved = n
+            self._moved_fraction = 1.0
+            return 1.0
+        mover = self._mover[:n]
+        np.not_equal(particles.cell, self._prev_cell[:n], out=mover)
+        np.logical_or(mover, self._dirty[:n], out=mover)
+        self._moved = int(np.count_nonzero(mover))
+        self._moved_fraction = (self._moved / n) if n else 0.0
+        return self._moved_fraction
+
+    def update(self, particles: ParticleArrays) -> IncrementalSortResult:
+        """Bring the canonical order up to date; refresh counts/offsets.
+
+        Repairs when the cached order is valid and the moved fraction
+        is within :attr:`rebuild_threshold`; rebuilds otherwise.  Both
+        paths yield the same ``(cell, row)``-sorted permutation.
+        """
+        n = particles.n
+        cell = particles.cell
+        rebuilt = True
+        if (
+            self._valid
+            and n
+            and self._moved_fraction <= self.rebuild_threshold
+        ):
+            rebuilt = not self._repair(n, cell)
+        if rebuilt:
+            self._rebuild(n, cell)
+            self.rebuilds += 1
+        self._prev_cell[:n] = cell
+        self._dirty[:n] = False
+        self._valid = True
+        self._order_n = n
+        self._counts[:] = np.bincount(cell, minlength=self.n_cells)
+        self._offsets[0] = 0
+        np.cumsum(self._counts, out=self._offsets[1:])
+        return IncrementalSortResult(
+            order=self._order[:n],
+            counts=self._counts,
+            offsets=self._offsets,
+            moved=self._moved,
+            moved_fraction=self._moved_fraction,
+            rebuilt=rebuilt,
+            n=n,
+        )
+
+    def step(self, particles: ParticleArrays) -> IncrementalSortResult:
+        """Convenience: ``detect`` + ``update`` in one call."""
+        self.detect(particles)
+        return self.update(particles)
+
+    # -- internals -------------------------------------------------------
+
+    def _grow(self, n: int) -> None:
+        cap = self._prev_cell.shape[0]
+        if cap >= n:
+            return
+        new_cap = max(n, 2 * cap, 1024)
+        for name in ("_prev_cell", "_dirty", "_mover", "_order", "_key16"):
+            old = getattr(self, name)
+            buf = np.empty(new_cap, dtype=old.dtype)
+            buf[: old.shape[0]] = old
+            setattr(self, name, buf)
+
+    def _rebuild(self, n: int, cell: np.ndarray) -> None:
+        """Full canonical rebuild: stable argsort of the narrow key."""
+        if self.n_cells - 1 <= NARROW_KEY_LIMIT:
+            key16 = self._key16[:n]
+            np.copyto(key16, cell, casting="unsafe")
+            self._order[:n] = np.argsort(key16, kind="stable")
+        else:
+            self._order[:n] = np.argsort(cell, kind="stable")
+
+    def _repair(self, n: int, cell: np.ndarray) -> bool:
+        """Merge the sorted movers back into the kept canonical runs.
+
+        The kept rows (present, not movers) are a subsequence of the
+        previous canonical order, hence already sorted by ``(cell,
+        row)``; the movers are sorted by the same key and the two
+        sorted sequences are merged by rank (``searchsorted``), an
+        O(kept + movers log movers) scatter.  Composite keys are
+        ``cell * n + row`` -- strictly increasing within each sequence
+        and globally unique, so the merge has no ties.  Returns False
+        (caller rebuilds) if the partition does not account for every
+        row -- a defensive guard, not an expected path.
+        """
+        n_old = self._order_n
+        oo = self._order[:n_old]
+        mover = self._mover[:n]
+        # Slots whose row survived (row < n) and did not move.  The
+        # clipped gather keeps stale slot values (>= n after a net
+        # shrink) from indexing out of range; they are masked off.
+        keep = ~mover[np.minimum(oo, n - 1)] & (oo < n)
+        kept_rows = oo[keep]
+        mover_rows = np.flatnonzero(mover)
+        k, m = kept_rows.shape[0], mover_rows.shape[0]
+        if k + m != n:
+            return False
+        mover_rows = mover_rows[np.argsort(cell[mover_rows], kind="stable")]
+        kept_keys = cell[kept_rows] * n + kept_rows
+        mover_keys = cell[mover_rows] * n + mover_rows
+        pos_k = np.arange(k) + np.searchsorted(mover_keys, kept_keys)
+        pos_m = np.arange(m) + np.searchsorted(kept_keys, mover_keys)
+        order = self._order[:n]
+        order[pos_k] = kept_rows
+        order[pos_m] = mover_rows
+        return True

@@ -67,6 +67,11 @@ def _config_to_json(config: SimulationConfig) -> str:
             "name": config.model.name,
         },
         "sort_scale": config.sort_scale,
+        # The incremental kernel keeps NO persistent order state in the
+        # snapshot: the canonical order is a pure function of the cell
+        # column, so restore just triggers a full rebuild on the first
+        # step (IncrementalSorter.prepare sees a new particle object).
+        "sort_kernel": config.sort_kernel,
         "plunger_trigger": config.plunger_trigger,
         "reservoir_fraction": config.reservoir_fraction,
         "reservoir_mix_rounds": config.reservoir_mix_rounds,
@@ -89,6 +94,9 @@ def _config_from_json(blob: str) -> SimulationConfig:
         wedge=None if d["wedge"] is None else Wedge(**d["wedge"]),
         model=model,
         sort_scale=int(d["sort_scale"]),
+        # Archives predating the kernel field were counting-kernel runs;
+        # defaulting there keeps their continuation bitwise unchanged.
+        sort_kernel=d.get("sort_kernel", "counting"),
         plunger_trigger=float(d["plunger_trigger"]),
         reservoir_fraction=float(d["reservoir_fraction"]),
         reservoir_mix_rounds=int(d["reservoir_mix_rounds"]),

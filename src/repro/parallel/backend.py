@@ -44,13 +44,13 @@ from repro.core import motion
 from repro.core.boundary import BoundaryStats, WindTunnelBoundaries
 from repro.core.cells import assign_cells
 from repro.core.collision import collide_adjacent_pairs
-from repro.core.pairing import even_odd_pairs
+from repro.core.pairing import even_odd_pairs, reflection_pairs
 from repro.core.particles import COLUMN_NAMES, ParticleArrays
 from repro.core.reservoir import Reservoir
 from repro.core.sampling import CellSampler
-from repro.core.selection import select_collisions
+from repro.core.selection import fused_select_collide, select_collisions
 from repro.core.simulation import SerialBackend, StepDiagnostics
-from repro.core.sortstep import sort_by_cell
+from repro.core.sortstep import IncrementalSorter, sort_by_cell
 from repro.errors import (
     ConfigurationError,
     WorkerCrashError,
@@ -110,12 +110,17 @@ MISC_WORDS = 1
     D_T_SELECTION,
     D_T_COLLISION,
     D_T_RESERVOIR,
-) = range(20)
-NDIAG = 20
+    D_SORT_MOVED,
+    D_SORT_REBUILD,
+    D_T_INDEX,
+) = range(23)
+NDIAG = 23
 
 #: Worker phases merged into the driver's :class:`repro.perf.PerfLedger`
 #: (summed CPU-seconds across shards; "exchange" is the migration cost
-#: the serial engine does not have).
+#: the serial engine does not have, "index" the incremental kernel's
+#: cell-indexing + mover-detection pass -- both outside the paper's
+#: four-phase split).
 PHASE_COLUMNS = (
     ("motion", D_T_MOTION),
     ("exchange", D_T_EXCHANGE),
@@ -123,6 +128,7 @@ PHASE_COLUMNS = (
     ("selection", D_T_SELECTION),
     ("collision", D_T_COLLISION),
     ("reservoir", D_T_RESERVOIR),
+    ("index", D_T_INDEX),
 )
 
 
@@ -183,6 +189,15 @@ class ShardWorker:
         self.reservoir: Optional[Reservoir] = None
         self.particles: Optional[ParticleArrays] = None
         self._counts = np.zeros(config.domain.n_cells, dtype=np.int64)
+        #: Per-worker incremental-sort state (``sort_kernel=
+        #: "incremental"``): each shard maintains its own canonical
+        #: order; migration arrivals/removals mark rows dirty through
+        #: the population's order listener, so the cached state
+        #: survives worker steps and only the touched rows re-insert.
+        self._sorter: Optional[IncrementalSorter] = (
+            IncrementalSorter(config.domain.n_cells)
+            if config.sort_kernel == "incremental" else None
+        )
         self.sampler = CellSampler(config.domain)
         samp = shared["samp"][shard_id]
         self.sampler._count = samp[0]
@@ -377,41 +392,87 @@ class ShardWorker:
         self.channels.receive(parts, self.shard_id)
         t1 = time.perf_counter()
 
-        assign_cells(parts, self.domain)
-        sort_by_cell(
-            parts,
-            rng=stream,
-            scale=cfg.sort_scale,
-            n_cells=self.domain.n_cells,
-            kernel="counting",
-            counts_out=self._counts,
-        )
-        t2 = time.perf_counter()
+        if self._sorter is not None:
+            # Temporal-coherence path: indexing + mover detection
+            # ("index"), order maintenance ("sort"), then the fused
+            # selection/collision pass over reflection pairs.
+            assign_cells(parts, self.domain)
+            self._sorter.detect(parts)
+            t1b = time.perf_counter()
+            sres = self._sorter.update(parts)
+            t2 = time.perf_counter()
 
-        pairs = even_odd_pairs(parts.cell, scratch=parts.scratch)
-        draws = parts.scratch.array("sel_draws", pairs.n_pairs)
-        stream.random(out=draws)
-        selection = select_collisions(
-            parts,
-            pairs,
-            cfg.freestream,
-            cfg.model,
-            self._counts,
-            volume_fractions=self._vf_flat,
-            rng=stream,
-            draws=draws,
-        )
-        t3 = time.perf_counter()
+            rpairs = reflection_pairs(
+                sres.order, sres.counts, sres.offsets, stream,
+                scratch=parts.scratch,
+            )
+            fused = fused_select_collide(
+                parts,
+                rpairs,
+                cfg.freestream,
+                cfg.model,
+                sres.counts,
+                volume_fractions=self._vf_flat,
+                rng=stream,
+                internal_exchange_probability=(
+                    cfg.model.internal_exchange_probability
+                ),
+            )
+            t3 = fused.t_boundary
+            t4 = time.perf_counter()
+            n_pairs_total = parts.n // 2
+            n_cand = rpairs.n_pairs
+            n_coll = fused.n_collisions
+            prob_sum = fused.probability_sum
+            sort_moved = sres.moved
+            sort_rebuilt = 1 if sres.rebuilt else 0
+            t_index = t1b - t1
+        else:
+            assign_cells(parts, self.domain)
+            sort_by_cell(
+                parts,
+                rng=stream,
+                scale=cfg.sort_scale,
+                n_cells=self.domain.n_cells,
+                kernel="counting",
+                counts_out=self._counts,
+            )
+            t1b = t1
+            t2 = time.perf_counter()
 
-        collide_adjacent_pairs(
-            parts,
-            np.flatnonzero(selection.accept),
-            rng=stream,
-            internal_exchange_probability=(
-                cfg.model.internal_exchange_probability
-            ),
-        )
-        t4 = time.perf_counter()
+            pairs = even_odd_pairs(parts.cell, scratch=parts.scratch)
+            draws = parts.scratch.array("sel_draws", pairs.n_pairs)
+            stream.random(out=draws)
+            selection = select_collisions(
+                parts,
+                pairs,
+                cfg.freestream,
+                cfg.model,
+                self._counts,
+                volume_fractions=self._vf_flat,
+                rng=stream,
+                draws=draws,
+            )
+            t3 = time.perf_counter()
+
+            collide_adjacent_pairs(
+                parts,
+                np.flatnonzero(selection.accept),
+                rng=stream,
+                internal_exchange_probability=(
+                    cfg.model.internal_exchange_probability
+                ),
+            )
+            t4 = time.perf_counter()
+            n_pairs_total = pairs.n_pairs
+            n_cand = pairs.n_candidates
+            n_coll = selection.n_collisions
+            # probability is already zeroed on non-candidates, so the
+            # plain sum is the candidate sum the merged mean needs.
+            prob_sum = float(selection.probability.sum())
+            sort_moved = 0
+            sort_rebuilt = 0
+            t_index = 0.0
 
         if self.reservoir is not None and cfg.reservoir_mix_rounds:
             self.reservoir.mix(stream, rounds=cfg.reservoir_mix_rounds)
@@ -429,12 +490,10 @@ class ShardWorker:
         b = self._bstats
         row[D_NFLOW] = parts.n
         row[D_NRES] = self.reservoir.size if self.reservoir is not None else 0
-        row[D_NPAIRS] = pairs.n_pairs
-        row[D_NCAND] = pairs.n_candidates
-        row[D_NCOLL] = selection.n_collisions
-        # probability is already zeroed on non-candidates, so the plain
-        # sum is the candidate sum the merged mean needs.
-        row[D_PROBSUM] = float(selection.probability.sum())
+        row[D_NPAIRS] = n_pairs_total
+        row[D_NCAND] = n_cand
+        row[D_NCOLL] = n_coll
+        row[D_PROBSUM] = prob_sum
         row[D_WALLS] = b.n_reflected_walls
         row[D_WEDGE] = b.n_reflected_wedge
         row[D_REMOVED] = b.n_removed_downstream
@@ -445,10 +504,13 @@ class ShardWorker:
         row[D_MOMX] = float(parts.u.sum())
         row[D_T_MOTION] = self._t_motion
         row[D_T_EXCHANGE] = self._t_exchange + (t1 - t0)
-        row[D_T_SORT] = t2 - t1
+        row[D_T_SORT] = t2 - t1b
         row[D_T_SELECTION] = t3 - t2
         row[D_T_COLLISION] = t4 - t3
         row[D_T_RESERVOIR] = t5 - t4
+        row[D_SORT_MOVED] = sort_moved
+        row[D_SORT_REBUILD] = sort_rebuilt
+        row[D_T_INDEX] = t_index
         if self.shard_id == 0:
             self.shared["misc"][MISC_PLUNGER] = self.boundaries.plunger.position
         self._emit_spans(
@@ -456,7 +518,8 @@ class ShardWorker:
             (
                 ("phase_b", t0, t5),
                 ("exchange", t0, t1),
-                ("sort", t1, t2),
+                ("index", t1, t1b),
+                ("sort", t1b, t2),
                 ("selection", t2, t3),
                 ("collision", t3, t4),
                 ("reservoir", t4, t5),
@@ -844,6 +907,13 @@ class ShardedBackend:
             sim.perf.record(name, float(d[:, col].sum()))
         n_flow = int(d[:, D_NFLOW].sum())
         sim.perf.end_step(n_particles=n_flow)
+        sort_moved_fraction: Optional[float] = None
+        sort_rebuilds: Optional[int] = None
+        if sim.hotpath and sim.config.sort_kernel == "incremental":
+            sort_moved_fraction = (
+                float(d[:, D_SORT_MOVED].sum()) / n_flow if n_flow else 0.0
+            )
+            sort_rebuilds = int(d[:, D_SORT_REBUILD].sum())
         return StepDiagnostics(
             step=sim.step_count,
             n_flow=n_flow,
@@ -857,6 +927,8 @@ class ShardedBackend:
             boundary=bstats,
             total_energy=float(d[:, D_ENERGY].sum()),
             momentum_x=float(d[:, D_MOMX].sum()),
+            sort_moved_fraction=sort_moved_fraction,
+            sort_rebuilds=sort_rebuilds,
             phase_seconds=(
                 sim.perf.last_step_seconds if sim.perf.enabled else None
             ),
@@ -989,6 +1061,17 @@ class ShardedBackend:
         if self._serial is not None or not self._bound:
             return None
         return np.asarray(self._channels.counts), self._channels.capacity
+
+    def sort_states(self) -> Optional[List]:
+        """Per-shard :class:`IncrementalSorter` instances, for audit.
+
+        Only reachable in inline mode -- in process mode the sorters
+        live in worker memory, so the order audit is skipped there.
+        ``None`` entries (counting kernel) are possible.
+        """
+        if self._serial is not None or not self._bound or self._processes:
+            return None
+        return [w._sorter for w in self._workers]
 
     # -- introspection for the telemetry hub -----------------------------
 

@@ -23,6 +23,11 @@ or validity property of the paper's algorithm:
   teleported a particle.
 * **channel conservation** (sharded) -- migration-channel counts are
   within ``[0, capacity]``.
+* **cached order** (incremental sort kernel) -- the temporal-coherence
+  sorter's cached canonical order is a true permutation of the live
+  population, cell-contiguous against the current cell column, and its
+  mover-detection baseline matches the committed cells; a violation
+  means the listener bookkeeping desynchronized from particle surgery.
 * **energy drift** -- total (kinetic + rotational) energy moves less
   than a relative tolerance between audits; boundary fluxes exchange
   energy with the reservoir so this is a drift band, not an equality,
@@ -67,6 +72,7 @@ class AuditConfig:
     check_slabs: bool = True
     check_channels: bool = True
     check_energy: bool = True
+    check_order: bool = True
     velocity_limit: float = 256.0
     position_tolerance: float = 1e-9
     energy_drift_tol: float = 0.5
@@ -144,6 +150,7 @@ class InvariantAuditor:
                 ("slabs", cfg.check_slabs),
                 ("channels", cfg.check_channels),
                 ("energy", cfg.check_energy),
+                ("order", cfg.check_order),
             )
             if on
         ]
@@ -165,6 +172,7 @@ class InvariantAuditor:
 
         domain = sim.config.domain
         slabs = self._slab_bounds(sim)
+        sorters = self._sort_states(sim) if cfg.check_order else None
         for shard, v in enumerate(views):
             ctx = {"step": step}
             if len(views) > 1:
@@ -203,6 +211,12 @@ class InvariantAuditor:
                         n_bad=bad,
                         **ctx,
                     )
+            if (
+                sorters is not None
+                and shard < len(sorters)
+                and sorters[shard] is not None
+            ):
+                self._check_order(sorters[shard], v, ctx)
             if cfg.check_slabs and slabs is not None and v["x"].size:
                 lo, hi = slabs[shard]
                 tol = cfg.position_tolerance
@@ -300,6 +314,72 @@ class InvariantAuditor:
                         limit=cfg.velocity_limit,
                         **ctx,
                     )
+
+    @staticmethod
+    def _check_order(sorter, v: Dict[str, np.ndarray], ctx) -> None:
+        """Validate an incremental sorter's cached canonical order."""
+        if not sorter._valid:
+            return  # nothing committed yet (first step not taken)
+        n = int(v["x"].shape[0])
+        if sorter._order_n != n:
+            raise InvariantViolationError(
+                "cached sort order tracks a different population size "
+                "than the live particle state",
+                check="order",
+                order_n=int(sorter._order_n),
+                n_particles=n,
+                **ctx,
+            )
+        if n == 0:
+            return
+        cell = v["cell"]
+        order = sorter._order[:n]
+        hits = np.bincount(order, minlength=n)
+        if hits.shape[0] != n or not (hits == 1).all():
+            raise InvariantViolationError(
+                "cached sort order is not a permutation of the live "
+                "particle rows",
+                check="order",
+                n_particles=n,
+                n_missing=int(np.count_nonzero(hits[:n] == 0)),
+                **ctx,
+            )
+        keys = cell[order].astype(np.int64) * n + order
+        if n > 1 and not (np.diff(keys) > 0).all():
+            raise InvariantViolationError(
+                "cached sort order is not cell-contiguous canonical "
+                "(cell, row) order",
+                check="order",
+                n_particles=n,
+                **ctx,
+            )
+        if not np.array_equal(sorter._prev_cell[:n], cell):
+            raise InvariantViolationError(
+                "incremental sorter's committed cell baseline "
+                "disagrees with the live cell column (mover detection "
+                "would miss movers)",
+                check="order",
+                n_bad=int(np.count_nonzero(sorter._prev_cell[:n] != cell)),
+                **ctx,
+            )
+
+    @staticmethod
+    def _sort_states(sim) -> Optional[List]:
+        """Per-view incremental sorters, aligned with ``_views``.
+
+        Sharded backends expose per-shard sorters via ``sort_states()``
+        (inline mode only -- worker-private in process mode, where the
+        order audit is skipped).  Serially (and for the 1-worker
+        delegate) the simulation-owned sorter is authoritative.
+        """
+        fn = getattr(sim.backend, "sort_states", None)
+        states = fn() if callable(fn) else None
+        if states is not None:
+            return states
+        cols = getattr(sim.backend, "shard_columns", None)
+        if callable(cols) and cols() is not None:
+            return None  # process-mode shards: sorters unreachable
+        return [getattr(sim, "sort_state", None)]
 
     @staticmethod
     def _views(sim) -> List[Dict[str, np.ndarray]]:

@@ -133,6 +133,16 @@ class Telemetry:
             "repro_step_us_per_particle",
             help="four-phase wall-clock microseconds per particle per step",
         )
+        self._m_moved = reg.gauge(
+            "repro_sort_moved_fraction",
+            help="fraction of particles that changed cell this step "
+            "(incremental sort kernel only)",
+        )
+        self._m_rebuilds = reg.counter(
+            "repro_sort_rebuilds_total",
+            help="full canonical-order rebuilds by the incremental "
+            "sort kernel",
+        )
         self._m_migrations = None  # created on first sharded step
         self.tracer = SpanTracer(max_spans=max_spans, pid=os.getpid())
         self.stream: Optional[EventStream] = (
@@ -221,6 +231,11 @@ class Telemetry:
         self._m_removed.inc(b.n_removed_downstream)
         self._m_flow.set(diag.n_flow)
         self._m_reservoir.set(diag.n_reservoir)
+
+        if diag.sort_moved_fraction is not None:
+            self._m_moved.set(diag.sort_moved_fraction)
+        if diag.sort_rebuilds:
+            self._m_rebuilds.inc(diag.sort_rebuilds)
 
         drift = None
         if self._energy0:
@@ -373,6 +388,12 @@ class Telemetry:
                 "energy_drift": drift,
                 "fractions": sim.perf.fractions(),
             }
+            if diag.sort_moved_fraction is not None:
+                record["sort_moved_fraction"] = diag.sort_moved_fraction
+            if diag.sort_rebuilds is not None:
+                record["sort_rebuilds"] = int(
+                    self._m_rebuilds.value
+                )
             if imbalance is not None:
                 record["load_imbalance"] = imbalance
             batch = [{"kind": "metrics", **record}]
@@ -401,6 +422,11 @@ class Telemetry:
         ]
         if imbalance is not None:
             parts.append(f"imb {imbalance:.2f}")
+        if diag.sort_moved_fraction is not None:
+            parts.append(
+                f"mv {diag.sort_moved_fraction:.2f}"
+                f"/rb {int(self._m_rebuilds.value)}"
+            )
         parts.append(f"rec {int(rec)}")
         print("  ".join(parts), file=sys.stderr, flush=True)
 

@@ -50,6 +50,8 @@ def summarize(run_dir: PathLike) -> dict:
         "fractions": None,
         "energy_drift": None,
         "load_imbalance_max": None,
+        "sort_moved_fraction_mean": None,
+        "sort_rebuilds": None,
         "spans": 0,
         "audits": 0,
         "audit_failures": 0,
@@ -59,6 +61,7 @@ def summarize(run_dir: PathLike) -> dict:
     }
     us_samples: List[float] = []
     imb_samples: List[float] = []
+    moved_samples: List[float] = []
     for ev in events:
         kind = ev.get("kind")
         if kind == "run_start":
@@ -74,6 +77,10 @@ def summarize(run_dir: PathLike) -> dict:
                 summary["energy_drift"] = float(ev["energy_drift"])
             if ev.get("load_imbalance") is not None:
                 imb_samples.append(float(ev["load_imbalance"]))
+            if ev.get("sort_moved_fraction") is not None:
+                moved_samples.append(float(ev["sort_moved_fraction"]))
+            if ev.get("sort_rebuilds") is not None:
+                summary["sort_rebuilds"] = int(ev["sort_rebuilds"])
         elif kind == "span":
             summary["spans"] += 1
         elif kind == "audit":
@@ -97,6 +104,10 @@ def summarize(run_dir: PathLike) -> dict:
         summary["us_per_particle_mean"] = sum(us_samples) / len(us_samples)
     if imb_samples:
         summary["load_imbalance_max"] = max(imb_samples)
+    if moved_samples:
+        summary["sort_moved_fraction_mean"] = (
+            sum(moved_samples) / len(moved_samples)
+        )
     return summary
 
 
@@ -129,6 +140,11 @@ def render(summary: dict) -> str:
         ),
         ("energy drift", _fmt(summary["energy_drift"], ".2e")),
         ("load imbalance (max)", _fmt(summary["load_imbalance_max"], ".3f")),
+        (
+            "sort moved fraction",
+            _fmt(summary["sort_moved_fraction_mean"], ".3f"),
+        ),
+        ("sort rebuilds", _fmt(summary["sort_rebuilds"])),
         ("spans", _fmt(summary["spans"])),
         ("audits (failures)", f"{summary['audits']} ({summary['audit_failures']})"),
         ("recoveries", _fmt(summary["recoveries"])),

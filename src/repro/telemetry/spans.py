@@ -43,6 +43,9 @@ WORKER_SPAN_NAMES = (
     "selection",
     "collision",
     "reservoir",
+    # Appended (index stability): cell indexing + mover detection for
+    # the incremental sort kernel.
+    "index",
 )
 
 #: Ring row layout: ``(name_id, t_start, t_end, step, tid, pid)``.

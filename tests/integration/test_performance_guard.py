@@ -15,6 +15,7 @@ The hot-path engine adds two sharper guarantees worth guarding:
   checked directly with tracemalloc.
 """
 
+import dataclasses
 import gc
 import time
 import tracemalloc
@@ -58,13 +59,20 @@ class TestThroughput:
             "likely devectorized or fallen off the O(N) sort"
         )
 
-    def test_stepping_retains_no_per_particle_memory(self):
+    @pytest.mark.parametrize("kernel", ["counting", "incremental"])
+    def test_stepping_retains_no_per_particle_memory(self, kernel):
         # The scratch-buffer contract: after the pool is warm, stepping
         # must not RETAIN any O(N) allocation (transient RNG draws are
         # fine; they are freed within the step).  One float64 column
         # here is ~8 * n bytes; the threshold is a small fraction of
-        # one column, far below any leaked per-particle array.
-        sim = Simulation(_wedge_config(density=10.0, seed=1))
+        # one column, far below any leaked per-particle array.  Both
+        # sort kernels must honor it: the incremental path's cached
+        # order and the fused selection/collision scratch are sized
+        # once and reused, never regrown per step.
+        cfg = dataclasses.replace(
+            _wedge_config(density=10.0, seed=1), sort_kernel=kernel
+        )
+        sim = Simulation(cfg)
         sim.run(10)  # past the start-up transient; pool fully grown
         gc.collect()
         tracemalloc.start()

@@ -1,0 +1,108 @@
+"""Property tests for the incremental (temporal-coherence) sort kernel.
+
+The kernel's entire correctness story is two invariants:
+
+* **canonical order** -- after any `update`, the maintained permutation
+  sorts the population strictly by ``(cell, row)``;
+* **path independence** -- repair and rebuild produce bit-identical
+  orders, for any history of cell changes and row surgery, so the
+  repair/rebuild decision (a pure performance heuristic) can never
+  change a trajectory.
+
+Hypothesis drives random cell-change/surgery programs against both a
+forced-repair and a forced-rebuild sorter and demands identical state.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.particles import ParticleArrays
+from repro.core.sortstep import IncrementalSorter
+from repro.physics.freestream import Freestream
+
+N_CELLS = 12
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+# A surgery program: a sequence of (op, seed) instructions.
+programs = st.lists(
+    st.tuples(
+        st.sampled_from(["move", "remove", "append", "noop"]),
+        st.integers(min_value=0, max_value=2**16),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _population(seed, n=160):
+    rng = np.random.default_rng(seed)
+    fs = Freestream(mach=4.0, c_mp=0.2, lambda_mfp=0.5, density=8.0)
+    parts = ParticleArrays.from_freestream(rng, n, fs, (0, 10), (0, 10))
+    parts.enable_scratch()
+    parts.cell[:] = rng.integers(0, N_CELLS, size=parts.n)
+    return parts
+
+
+def _apply(op, seed, parts):
+    rng = np.random.default_rng(seed)
+    n = parts.n
+    if op == "move" and n:
+        k = int(rng.integers(1, max(2, n // 8)))
+        idx = rng.choice(n, size=k, replace=False)
+        parts.cell[idx] = rng.integers(0, N_CELLS, size=k)
+    elif op == "remove" and n > 8:
+        mask = np.zeros(n, dtype=bool)
+        mask[rng.choice(n, size=int(rng.integers(1, n // 4)), replace=False)] = True
+        parts.remove_inplace(mask)
+    elif op == "append":
+        extra = _population(seed + 1, n=int(rng.integers(1, 24)))
+        parts.append_inplace(extra)
+
+
+def _assert_canonical(order, cell):
+    n = cell.shape[0]
+    assert np.array_equal(np.sort(order), np.arange(n))
+    keys = cell[order].astype(np.int64) * n + order
+    if n > 1:
+        assert np.all(np.diff(keys) > 0)
+
+
+class TestPathIndependence:
+    @given(seeds, programs)
+    @settings(max_examples=40, deadline=None)
+    def test_repair_and_rebuild_agree_on_any_history(self, seed, program):
+        parts_a = _population(seed)
+        parts_b = _population(seed)
+        repairer = IncrementalSorter(N_CELLS, rebuild_threshold=1.0)
+        rebuilder = IncrementalSorter(N_CELLS, rebuild_threshold=0.0)
+        repairer.step(parts_a)
+        rebuilder.step(parts_b)
+        for op, op_seed in program:
+            _apply(op, op_seed, parts_a)
+            _apply(op, op_seed, parts_b)
+            res_a = repairer.step(parts_a)
+            res_b = rebuilder.step(parts_b)
+            assert res_a.n == res_b.n
+            assert np.array_equal(res_a.order, res_b.order)
+            assert np.array_equal(res_a.counts, res_b.counts)
+            assert np.array_equal(res_a.offsets, res_b.offsets)
+            _assert_canonical(res_a.order, parts_a.cell)
+
+    @given(seeds, programs)
+    @settings(max_examples=30, deadline=None)
+    def test_moved_count_bounds_and_counts_histogram(self, seed, program):
+        parts = _population(seed)
+        sorter = IncrementalSorter(N_CELLS, rebuild_threshold=0.5)
+        sorter.step(parts)
+        for op, op_seed in program:
+            _apply(op, op_seed, parts)
+            res = sorter.step(parts)
+            assert 0 <= res.moved <= res.n
+            assert res.moved_fraction <= 1.0
+            assert np.array_equal(
+                res.counts, np.bincount(parts.cell, minlength=N_CELLS)
+            )
+            assert res.offsets[-1] == res.n
+            _assert_canonical(res.order, parts.cell)

@@ -1,0 +1,369 @@
+"""Unit tests for the temporal-coherence sort kernel and its pairing.
+
+Pins the contracts the incremental hot path relies on:
+
+* :func:`reflection_slots` (the scalar reference) yields ``m // 2``
+  disjoint same-cell pairs for *every* reflection offset, never pairs a
+  slot with itself, and covers every slot when the cell is even-sized;
+* the vectorized :func:`reflection_pairs` matches the scalar reference
+  exactly and consumes a counts-dependent (order-independent) amount of
+  the rng stream;
+* :class:`IncrementalSorter` maintains the canonical ``(cell, row)``
+  order through repair and rebuild identically (path independence),
+  tracks row surgery through the listener protocol, and recovers from
+  rebinding by one full rebuild;
+* the fused selection/collision kernel is bitwise identical to the
+  split ``select_collisions`` + ``collide_pairs`` pipeline on the same
+  pair list and rng stream.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.cells import assign_cells
+from repro.core.collision import collide_pairs
+from repro.core.pairing import (
+    CandidatePairs,
+    reflection_pairs,
+    reflection_slots,
+)
+from repro.core.particles import ParticleArrays
+from repro.core.selection import fused_select_collide, select_collisions
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.core.sortstep import IncrementalSorter, sort_by_cell
+from repro.errors import ConfigurationError
+from repro.geometry.domain import Domain
+from repro.physics.freestream import Freestream
+from repro.physics.molecules import MolecularModel, hard_sphere
+
+
+class _FixedDraw:
+    """An rng stub whose ``integers`` returns a preset per-cell draw."""
+
+    def __init__(self, s):
+        self.s = np.asarray(s, dtype=np.int64)
+
+    def integers(self, low, high):
+        return self.s.copy()
+
+
+class TestReflectionSlots:
+    @pytest.mark.parametrize("m", range(13))
+    def test_every_offset_yields_disjoint_pairs(self, m):
+        for s in range(max(m, 1)):
+            pairs = reflection_slots(m, s)
+            assert len(pairs) == m // 2
+            seen = [slot for pair in pairs for slot in pair]
+            # Disjoint: no slot appears twice across the pairing.
+            assert len(seen) == len(set(seen))
+            assert all(0 <= slot < m for slot in seen)
+            # Never a self-pair.
+            assert all(a != b for a, b in pairs)
+            if m and m % 2 == 0:
+                # Even cells: the pairing is a perfect matching.
+                assert sorted(seen) == list(range(m))
+
+    @pytest.mark.parametrize("m", [2, 4, 5, 8, 11])
+    def test_partner_of_a_slot_is_uniform_over_offsets(self, m):
+        # Across all m reflection offsets, slot 0 meets every other
+        # slot equally often -- the uniformity that replaces the
+        # counting kernel's intra-cell shuffle.
+        partner_counts = {}
+        for s in range(m):
+            for a, b in reflection_slots(m, s):
+                if a == 0:
+                    partner_counts[b] = partner_counts.get(b, 0) + 1
+                elif b == 0:
+                    partner_counts[a] = partner_counts.get(a, 0) + 1
+        counts = list(partner_counts.values())
+        assert max(counts) - min(counts) <= 1
+
+
+class TestReflectionPairs:
+    def test_vectorized_matches_scalar_reference(self):
+        rng = np.random.default_rng(42)
+        for _ in range(50):
+            n_cells = int(rng.integers(1, 10))
+            counts = rng.integers(0, 13, size=n_cells).astype(np.int64)
+            n = int(counts.sum())
+            offsets = np.concatenate(
+                [[0], np.cumsum(counts)]
+            ).astype(np.int64)
+            order = rng.permutation(n).astype(np.intp)
+            s = np.array(
+                [rng.integers(0, max(c, 1)) for c in counts],
+                dtype=np.int64,
+            )
+            rp = reflection_pairs(order, counts, offsets, _FixedDraw(s))
+            ref_first, ref_second, ref_cell = [], [], []
+            for c in range(n_cells):
+                base = int(offsets[c])
+                for a, b in reflection_slots(int(counts[c]), int(s[c])):
+                    ref_first.append(order[base + a])
+                    ref_second.append(order[base + b])
+                    ref_cell.append(c)
+            assert np.array_equal(rp.first, np.array(ref_first, dtype=np.intp))
+            assert np.array_equal(
+                rp.second, np.array(ref_second, dtype=np.intp)
+            )
+            assert np.array_equal(rp.cell, np.array(ref_cell, dtype=np.int64))
+
+    def test_all_pairs_are_same_cell_rows(self):
+        rng = np.random.default_rng(7)
+        counts = rng.integers(0, 9, size=20).astype(np.int64)
+        n = int(counts.sum())
+        offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        order = rng.permutation(n).astype(np.intp)
+        cell_of_row = np.empty(n, dtype=np.int64)
+        for c in range(20):
+            cell_of_row[order[offsets[c] : offsets[c + 1]]] = c
+        rp = reflection_pairs(
+            order, counts, offsets, np.random.default_rng(1)
+        )
+        assert rp.n_pairs == int((counts // 2).sum())
+        assert np.array_equal(cell_of_row[rp.first], rp.cell)
+        assert np.array_equal(cell_of_row[rp.second], rp.cell)
+        assert not np.any(rp.first == rp.second)
+
+    def test_rng_consumption_depends_only_on_counts(self):
+        # Two different canonical orders with the same per-cell counts
+        # must leave a seeded stream in the same position -- the
+        # property that makes repair/rebuild history invisible.
+        counts = np.array([3, 0, 4, 2], dtype=np.int64)
+        n = int(counts.sum())
+        offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        order_a = np.arange(n, dtype=np.intp)
+        order_b = order_a.copy()
+        # Swap two rows inside one cell's run: same counts, new order.
+        order_b[[0, 1]] = order_b[[1, 0]]
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        reflection_pairs(order_a, counts, offsets, rng_a)
+        reflection_pairs(order_b, counts, offsets, rng_b)
+        assert rng_a.random() == rng_b.random()
+
+
+def _canonical_invariants(sorter, particles):
+    n = particles.n
+    order = sorter._order[:n]
+    assert np.array_equal(np.sort(order), np.arange(n))
+    keys = particles.cell[order].astype(np.int64) * n + order
+    if n > 1:
+        assert np.all(np.diff(keys) > 0)
+
+
+class TestIncrementalSorter:
+    def _population(self, rng, n=500, n_cells=24):
+        fs = Freestream(mach=4.0, c_mp=0.2, lambda_mfp=0.5, density=8.0)
+        parts = ParticleArrays.from_freestream(rng, n, fs, (0, 10), (0, 10))
+        parts.cell[:] = rng.integers(0, n_cells, size=parts.n)
+        return parts
+
+    def test_first_step_rebuilds_to_canonical_order(self, rng):
+        parts = self._population(rng)
+        sorter = IncrementalSorter(24)
+        res = sorter.step(parts)
+        assert res.rebuilt and res.moved_fraction == 1.0
+        _canonical_invariants(sorter, parts)
+        assert np.array_equal(
+            res.counts, np.bincount(parts.cell, minlength=24)
+        )
+
+    def test_repair_equals_rebuild(self, rng):
+        # Path independence: after a small perturbation, the repaired
+        # order is bit-identical to a from-scratch rebuild.
+        parts = self._population(rng)
+        repairer = IncrementalSorter(24, rebuild_threshold=1.0)
+        rebuilder = IncrementalSorter(24, rebuild_threshold=0.0)
+        repairer.step(parts)
+        for _ in range(5):
+            idx = rng.choice(parts.n, size=17, replace=False)
+            parts.cell[idx] = rng.integers(0, 24, size=17)
+            res_rep = repairer.step(parts)
+            assert not res_rep.rebuilt
+            order_rep = res_rep.order.copy()
+            parts.order_listener = None  # detach before rebinding
+            res_reb = rebuilder.step(parts)
+            assert res_reb.rebuilt
+            assert np.array_equal(order_rep, res_reb.order)
+            parts.order_listener = None
+            repairer.prepare(parts)  # re-attach without invalidating
+            _canonical_invariants(repairer, parts)
+
+    def test_row_surgery_is_tracked_through_the_listener(self, rng):
+        parts = self._population(rng)
+        parts.enable_scratch()
+        sorter = IncrementalSorter(24, rebuild_threshold=1.0)
+        sorter.step(parts)
+        # Removal backfills holes from the tail -> dirty rows.
+        mask = np.zeros(parts.n, dtype=bool)
+        mask[rng.choice(parts.n, size=11, replace=False)] = True
+        parts.remove_inplace(mask)
+        res = sorter.step(parts)
+        assert not res.rebuilt  # repairable: only the holes moved
+        _canonical_invariants(sorter, parts)
+        # Appended arrivals are dirty too.
+        extra = self._population(np.random.default_rng(9), n=23)
+        parts.append_inplace(extra)
+        res = sorter.step(parts)
+        assert not res.rebuilt
+        _canonical_invariants(sorter, parts)
+
+    def test_rebinding_invalidates_and_rebuilds(self, rng):
+        parts_a = self._population(rng)
+        parts_b = self._population(np.random.default_rng(5))
+        sorter = IncrementalSorter(24, rebuild_threshold=1.0)
+        sorter.step(parts_a)
+        res = sorter.step(parts_b)  # new identity -> invalidation
+        assert res.rebuilt and res.moved_fraction == 1.0
+        assert parts_a.order_listener is None
+        assert parts_b.order_listener is sorter
+        _canonical_invariants(sorter, parts_b)
+
+    def test_wholesale_reorder_invalidates(self, rng):
+        parts = self._population(rng)
+        sorter = IncrementalSorter(24, rebuild_threshold=1.0)
+        sorter.step(parts)
+        parts.reorder_inplace(rng.permutation(parts.n))
+        res = sorter.step(parts)
+        assert res.rebuilt
+        _canonical_invariants(sorter, parts)
+
+    def test_sort_by_cell_rejects_incremental(self, rng):
+        parts = self._population(rng)
+        with pytest.raises(ConfigurationError):
+            sort_by_cell(parts, rng=rng, kernel="incremental")
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            IncrementalSorter(0)
+        with pytest.raises(ConfigurationError):
+            IncrementalSorter(8, rebuild_threshold=1.5)
+
+
+class TestFusedEquivalence:
+    def _setup(self, seed=11, n=600, n_cells=16):
+        rng = np.random.default_rng(seed)
+        fs = Freestream(mach=4.0, c_mp=0.2, lambda_mfp=0.5, density=8.0)
+        parts = ParticleArrays.from_freestream(rng, n, fs, (0, 10), (0, 10))
+        parts.cell[:] = rng.integers(0, n_cells, size=parts.n)
+        sorter = IncrementalSorter(n_cells)
+        res = sorter.step(parts)
+        rp = reflection_pairs(
+            res.order, res.counts, res.offsets, np.random.default_rng(2)
+        )
+        return parts, rp, res.counts, fs
+
+    @pytest.mark.parametrize("iep", [1.0, 0.6])
+    def test_fused_is_bitwise_equal_to_split_pipeline(self, iep):
+        parts_f, rp, counts, fs = self._setup()
+        parts_s = parts_f.copy()
+        model = MolecularModel()
+
+        fused = fused_select_collide(
+            parts_f, rp, fs, model, counts,
+            rng=np.random.default_rng(99),
+            internal_exchange_probability=iep,
+        )
+
+        # Split reference on the same row pairs: every reflection pair
+        # is same-cell, so the candidate mask is all-True.
+        pairs = CandidatePairs(
+            first=rp.first, second=rp.second,
+            same_cell=np.ones(rp.n_pairs, dtype=bool), adjacent=False,
+        )
+        rng_s = np.random.default_rng(99)
+        sel = select_collisions(parts_s, pairs, fs, model, counts, rng=rng_s)
+        acc = np.flatnonzero(sel.accept)
+        stats = collide_pairs(
+            parts_s, rp.first[acc], rp.second[acc], rng=rng_s,
+            internal_exchange_probability=iep,
+        )
+
+        assert fused.n_collisions == stats.n_collisions
+        assert fused.n_candidates == rp.n_pairs
+        assert np.isclose(
+            fused.probability_sum, float(sel.probability.sum())
+        )
+        n = parts_f.n
+        for col in ("u", "v", "w"):
+            assert np.array_equal(
+                getattr(parts_f, col)[:n], getattr(parts_s, col)[:n]
+            ), col
+        assert np.array_equal(parts_f.rot[:n], parts_s.rot[:n])
+        assert np.array_equal(parts_f.perm[:n], parts_s.perm[:n])
+
+    def test_fused_speed_dependent_model_matches_split(self):
+        # Exercise the needs_speed branch (eq. 7) too.
+        parts_f, rp, counts, fs = self._setup(seed=13)
+        parts_s = parts_f.copy()
+        model = hard_sphere()
+        assert model.speed_exponent != 0.0
+        fused_select_collide(
+            parts_f, rp, fs, model, counts, rng=np.random.default_rng(4)
+        )
+        pairs = CandidatePairs(
+            first=rp.first, second=rp.second,
+            same_cell=np.ones(rp.n_pairs, dtype=bool), adjacent=False,
+        )
+        rng_s = np.random.default_rng(4)
+        sel = select_collisions(parts_s, pairs, fs, model, counts, rng=rng_s)
+        acc = np.flatnonzero(sel.accept)
+        collide_pairs(parts_s, rp.first[acc], rp.second[acc], rng=rng_s)
+        n = parts_f.n
+        assert np.array_equal(parts_f.u[:n], parts_s.u[:n])
+        assert np.array_equal(parts_f.rot[:n], parts_s.rot[:n])
+
+
+class TestSimulationWiring:
+    def test_incremental_is_the_default_kernel(self):
+        cfg = SimulationConfig(
+            domain=Domain(20, 12),
+            freestream=Freestream(
+                mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=4.0
+            ),
+            wedge=None,
+            seed=3,
+        )
+        assert cfg.sort_kernel == "incremental"
+        sim = Simulation(cfg, hotpath=True)
+        diag = sim.step()
+        assert sim.sort_state is not None
+        assert diag.sort_moved_fraction is not None
+        assert diag.sort_rebuilds >= 1  # first step always rebuilds
+
+    def test_counting_kernel_reports_no_moved_fraction(self):
+        cfg = SimulationConfig(
+            domain=Domain(20, 12),
+            freestream=Freestream(
+                mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=4.0
+            ),
+            wedge=None,
+            seed=3,
+            sort_kernel="counting",
+        )
+        sim = Simulation(cfg, hotpath=True)
+        diag = sim.step()
+        assert diag.sort_moved_fraction is None
+        assert diag.sort_rebuilds is None
+
+    def test_counting_trajectory_unchanged_by_kernel_flag(self):
+        # kernel="counting" must stay bitwise independent of the
+        # incremental machinery existing at all.
+        base = SimulationConfig(
+            domain=Domain(20, 12),
+            freestream=Freestream(
+                mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=4.0
+            ),
+            wedge=None,
+            seed=3,
+            sort_kernel="counting",
+        )
+        sims = [Simulation(base, hotpath=True) for _ in range(2)]
+        for _ in range(4):
+            diags = [s.step() for s in sims]
+        assert diags[0].n_flow == diags[1].n_flow
+        a, b = sims[0].particles, sims[1].particles
+        assert np.array_equal(a.u[: a.n], b.u[: b.n])
