@@ -1,0 +1,192 @@
+"""REBALANCE -- adaptive load balancing vs the static slab split.
+
+Runs the paper's Mach-4 wedge at ``--workers 2`` twice from the same
+seed -- once on the static equal-width decomposition and once with the
+cadenced rebalancer (``--balance every:10`` equivalent) -- and reports
+per-run max-over-mean shard imbalance (mean over the measured window
+and final), sharded us/particle/step, and the rebalance event counts.
+
+The acceptance signal is the *measured imbalance*: the shock piles
+particles into the slabs under the wedge, the static split eats that
+skew forever, the rebalancer works it back toward 1.  On a single-core
+host the wall-clock columns mostly account overhead (two workers
+time-share one core); on real multi-core hosts lower imbalance is
+lower wall-clock, which is why the imbalance column is the one the
+regression check guards.
+
+Standalone: ``PYTHONPATH=src python benchmarks/bench_rebalance.py``
+writes ``BENCH_rebalance.json`` at the repository root.
+
+CI smoke mode: ``--steps 30 --check-against BENCH_rebalance.json``
+runs a short measurement and exits non-zero when the balanced run's
+steady-state imbalance regresses beyond ``--tolerance`` over the
+committed record, or when rebalancing stops firing at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.geometry.domain import Domain
+from repro.geometry.wedge import Wedge
+from repro.parallel.backend import ShardedBackend
+from repro.parallel.rebalance import RebalanceConfig
+from repro.physics.freestream import Freestream
+from repro.telemetry.observables import load_imbalance
+
+WARMUP_STEPS = 10
+TIMED_STEPS = 120
+WORKERS = 2
+CADENCE = 10
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def default_config(density: float = 24.0, seed: int = 1989) -> SimulationConfig:
+    """The paper's Mach-4 wedge geometry at a benchmark density."""
+    return SimulationConfig(
+        domain=Domain(98, 64),
+        freestream=Freestream(
+            mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=density
+        ),
+        wedge=Wedge(x_leading=20.0, base=25.0, angle_deg=30.0),
+        seed=seed,
+    )
+
+
+def _timed_run(config: SimulationConfig, steps: int, balanced: bool):
+    rb = RebalanceConfig(every=CADENCE) if balanced else None
+    backend = ShardedBackend(WORKERS, rebalance=rb)
+    sim = Simulation(config, backend=backend)
+    imb_series = []
+    try:
+        sim.run(WARMUP_STEPS)
+        t0 = time.perf_counter()
+        for _ in range(steps):
+            sim.step()
+            imb_series.append(float(load_imbalance(backend.shard_loads())))
+        elapsed = time.perf_counter() - t0
+        n = sim.particles.n
+        record = {
+            "steps_per_sec": steps / elapsed,
+            "us_per_particle_step": elapsed / steps / n * 1e6,
+            "imbalance_mean": sum(imb_series) / len(imb_series),
+            "imbalance_final": imb_series[-1],
+            "imbalance_max": max(imb_series),
+            "rebalances": backend.rebalance_count,
+            "rebalances_skipped": backend.rebalance_skipped,
+            "columns_moved": backend.rebalance_columns_moved,
+            "final_edges": list(backend.slab_edges),
+        }
+        return record, n
+    finally:
+        sim.close()
+
+
+def run_benchmark(
+    config: SimulationConfig | None = None, steps: int = TIMED_STEPS
+) -> dict:
+    """Measure static and balanced runs; return the comparison record."""
+    config = config or default_config()
+    static, n = _timed_run(config, steps, balanced=False)
+    balanced, _ = _timed_run(config, steps, balanced=True)
+    return {
+        "bench": "rebalance",
+        "config": {
+            "domain": [config.domain.nx, config.domain.ny],
+            "mach": config.freestream.mach,
+            "density": config.freestream.density,
+            "lambda_mfp": config.freestream.lambda_mfp,
+            "seed": config.seed,
+            "workers": WORKERS,
+            "cadence": CADENCE,
+        },
+        "n_particles": n,
+        "timed_steps": steps,
+        "static": static,
+        "balanced": balanced,
+        "imbalance_reduction": (
+            static["imbalance_mean"] / balanced["imbalance_mean"]
+        ),
+    }
+
+
+def check_against(result: dict, baseline_path: pathlib.Path,
+                  tolerance: float) -> bool:
+    """True when the balanced run still balances.
+
+    Guards the steady-state (mean) imbalance of the balanced run
+    against the committed record -- the quantity the feature exists to
+    lower, and one that is machine-speed independent -- and that the
+    rebalancer actually fired.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    ref = baseline["balanced"]["imbalance_mean"]
+    got = result["balanced"]["imbalance_mean"]
+    ratio = got / ref
+    print(
+        f"regression check: balanced imbalance {got:.4f} vs baseline "
+        f"{ref:.4f} ({ratio:.2f}x, tolerance {1 + tolerance:.2f}x)"
+    )
+    if result["balanced"]["rebalances"] < 1:
+        print("FAIL: the rebalancer never fired")
+        return False
+    return ratio <= 1.0 + tolerance
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--steps", type=int, default=TIMED_STEPS,
+        help="timed steps per run (smoke runs use ~30)",
+    )
+    parser.add_argument(
+        "--density", type=float, default=24.0,
+        help="particles per cell (smoke runs can lower this)",
+    )
+    parser.add_argument(
+        "--check-against", type=pathlib.Path, default=None,
+        help="committed BENCH_rebalance.json to compare with; "
+             "exits 1 on a regression beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="allowed fractional imbalance regression (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(
+        config=default_config(density=args.density), steps=args.steps
+    )
+    if args.check_against is None:
+        out = REPO_ROOT / "BENCH_rebalance.json"
+        out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"particles: {result['n_particles']}, workers {WORKERS}, "
+          f"cadence every:{CADENCE}")
+    for name in ("static", "balanced"):
+        r = result[name]
+        print(
+            "{:<9s}: imbalance mean {:.3f} / final {:.3f} / max {:.3f}  "
+            "{:.3f} us/p/step  ({} rebalances, {} columns)".format(
+                name, r["imbalance_mean"], r["imbalance_final"],
+                r["imbalance_max"], r["us_per_particle_step"],
+                r["rebalances"], r["columns_moved"],
+            )
+        )
+    print("imbalance reduction: {:.2f}x".format(result["imbalance_reduction"]))
+    if args.check_against is not None:
+        if not check_against(result, args.check_against, args.tolerance):
+            print("FAIL: adaptive balancing regressed")
+            return 1
+        print("OK: within tolerance of the committed baseline")
+    else:
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

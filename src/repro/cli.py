@@ -50,6 +50,11 @@ def _build_parser() -> argparse.ArgumentParser:
     w.add_argument("--workers", type=int, default=1,
                    help="shard the tunnel into N x-slabs stepped by N "
                         "worker processes (1 = serial engine)")
+    w.add_argument("--balance", type=str, default="off", metavar="SPEC",
+                   help="adaptive load balancing for sharded runs: "
+                        "'every:N' repartitions the slabs from measured "
+                        "per-shard particle counts every N steps; "
+                        "'off' (default) keeps the static split")
     w.add_argument("--supervised", action="store_true",
                    help="run under the fault-tolerant supervisor "
                         "(periodic checkpoints, invariant audits, "
@@ -250,8 +255,13 @@ def _cmd_wedge(args: argparse.Namespace) -> int:
     backend = None
     if args.workers > 1:
         from repro.parallel.backend import ShardedBackend
+        from repro.parallel.rebalance import RebalanceConfig
 
-        backend = ShardedBackend(args.workers)
+        backend = ShardedBackend(
+            args.workers, rebalance=RebalanceConfig.parse(args.balance)
+        )
+    elif args.balance not in ("off", ""):
+        print("--balance requires --workers > 1; ignoring", file=sys.stderr)
     run_dir = args.run_dir or f"runs/wedge-{args.seed}"
     tel = _make_telemetry(
         args,

@@ -34,9 +34,11 @@ from repro.physics.molecules import MolecularModel
 
 #: Snapshot format version; bumped on layout changes.  Version 2 adds
 #: the sharded-backend continuation fields (worker count and in-transit
-#: reservoir flux); version-1 archives still load (the fields default
-#: to a serial run's values).
-FORMAT_VERSION = 2
+#: reservoir flux); version 3 adds the slab-edge tuple (adaptive load
+#: balancing can leave the decomposition non-uniform).  Older archives
+#: still load: v1 restores serially, v2 restores with the uniform
+#: split.
+FORMAT_VERSION = 3
 
 PathLike = Union[str, pathlib.Path]
 
@@ -187,6 +189,13 @@ def save_simulation(
         "sampler_e_trans": sim.sampler._e_trans,
         "sampler_e_rot": sim.sampler._e_rot,
     }
+    # v3: the live slab edges, so a checkpoint taken after a rebalance
+    # restores the non-uniform decomposition instead of re-splitting
+    # uniformly (which would shuffle particles across shards and break
+    # bitwise continuation).
+    slab_edges = getattr(sim.backend, "slab_edges", None)
+    if slab_edges is not None:
+        arrays["slab_edges"] = np.asarray(slab_edges, dtype=np.int64)
     if sim.surface is not None:
         # v2: the surface-load accumulators ride along too (v1 dropped
         # them, so restored runs silently lost their drag averages).
@@ -231,7 +240,9 @@ def load_simulation(
 
     ``backend_factory(n_workers=..., processes=..., flux_pending=...)``
     overrides the sharded-backend construction (the supervisor uses it
-    to re-arm fault plans and shorter barrier timeouts on respawn).
+    to re-arm fault plans and shorter barrier timeouts on respawn); it
+    also receives ``edges=...`` when the archive carries a slab-edge
+    tuple for this worker count (v3+, written after a rebalance).
 
     Raises :class:`~repro.errors.CheckpointCorruptionError` when the
     archive is truncated, unreadable, or missing required members --
@@ -241,7 +252,7 @@ def load_simulation(
     try:
         with np.load(path, allow_pickle=False) as data:
             version = int(data["format_version"])
-            if version not in (1, FORMAT_VERSION):
+            if version not in (1, 2, FORMAT_VERSION):
                 raise ConfigurationError(
                     f"snapshot format {version} != supported {FORMAT_VERSION}"
                 )
@@ -253,6 +264,14 @@ def load_simulation(
                 saved_workers = 1
                 flux_pending = 0
                 shard_seed = -1
+            # Legacy (pre-v3) archives carry no edge tuple: they were
+            # written by uniform-split runs, so restoring uniform is
+            # exact, not an approximation.
+            saved_edges = (
+                tuple(int(e) for e in data["slab_edges"])
+                if "slab_edges" in data
+                else None
+            )
             config = _config_from_json(str(data["config_json"]))
             sim = Simulation(config)
             sim.particles = _unpack_particles("flow", data)
@@ -306,15 +325,29 @@ def load_simulation(
         # from config.seed, so the restored configuration must carry
         # the original stateless seed for bitwise continuation.
         sim.config = dataclasses.replace(sim.config, seed=shard_seed)
+        # The saved edge tuple only applies at the snapshot's own
+        # worker count; a different count re-splits uniformly (the run
+        # is a new statistical realization anyway).
+        edges = (
+            saved_edges
+            if saved_edges is not None and len(saved_edges) == n_workers + 1
+            else None
+        )
         if backend_factory is not None:
-            backend = backend_factory(
+            kwargs = dict(
                 n_workers=n_workers,
                 processes=processes,
                 flux_pending=flux_pending,
             )
+            if edges is not None:
+                kwargs["edges"] = edges
+            backend = backend_factory(**kwargs)
         else:
             backend = ShardedBackend(
-                n_workers, processes=processes, flux_pending=flux_pending
+                n_workers,
+                processes=processes,
+                flux_pending=flux_pending,
+                edges=edges,
             )
         sim.backend = backend
         backend.bind(sim)

@@ -57,8 +57,14 @@ from repro.errors import (
     WorkerHangError,
 )
 from repro.parallel.exchange import LEFT, RIGHT, MigrationChannels
+from repro.parallel.rebalance import (
+    RebalanceConfig,
+    planned_transfers,
+    validate_plan,
+)
 from repro.parallel.shard import ShardSlabs
 from repro.rng import shard_stream
+from repro.telemetry.observables import load_imbalance
 from repro.telemetry.spans import (
     RING_FIELDS,
     RING_STATE,
@@ -83,6 +89,7 @@ CMD_IDLE = 0
 CMD_STEP = 1
 CMD_GATHER = 2
 CMD_STOP = 3
+CMD_REBALANCE = 4
 
 MISC_PLUNGER = 0     # plunger face position, published by shard 0
 MISC_WORDS = 1
@@ -526,6 +533,73 @@ class ShardWorker:
             ),
         )
 
+    # -- the repartition epoch (adaptive load balancing) -----------------
+
+    def rebalance_a(self, step: int) -> None:
+        """Ship the rows in ceded columns toward their new owner.
+
+        The parent has already published the new edge tuple in
+        ``shared["edges"]``; the planner's adjacency clamp guarantees
+        every ceded column transfers between *adjacent* shards, so the
+        existing migration channels carry the whole repartition as one
+        widened exchange epoch.  No RNG is consumed and no physics
+        runs -- a rebalance only re-homes particle ownership.
+        """
+        parts = self.particles
+        edges = self.shared["edges"]
+        new_lo = float(edges[self.shard_id])
+        new_hi = float(edges[self.shard_id + 1])
+        if self._fault_plan is not None:
+            # Publish the step so channel-level faults stay keyed.
+            self.channels._step = step
+        sc = parts.scratch
+        n = parts.n
+        x = parts.x
+        remove = None
+        if self.shard_id > 0:
+            lmask = sc.array("mig_left", n, dtype=bool)
+            np.less(x, new_lo, out=lmask)
+            self.channels.ship(
+                parts, np.flatnonzero(lmask), self.shard_id, LEFT
+            )
+            remove = lmask
+        if self.shard_id < self.n_workers - 1:
+            rmask = sc.array("mig_right", n, dtype=bool)
+            np.greater_equal(x, new_hi, out=rmask)
+            self.channels.ship(
+                parts, np.flatnonzero(rmask), self.shard_id, RIGHT
+            )
+            remove = (
+                rmask if remove is None
+                else np.logical_or(remove, rmask, out=remove)
+            )
+        if remove is not None and remove.any():
+            parts.remove_inplace(remove)
+
+    def rebalance_b(self) -> None:
+        """Adopt arrivals and refresh slab bounds from the new edges.
+
+        Runs after the mid-epoch barrier: every neighbour's ceded rows
+        are in the channels, arrival order is the same fixed
+        left-then-right order as a normal step.  The incremental-sort
+        state repairs itself through the population's order listener
+        (removals and appends mark rows dirty), so only the touched
+        rows re-insert on the next step.
+        """
+        parts = self.particles
+        self.channels.receive(parts, self.shard_id)
+        edges = self.shared["edges"]
+        k = self.shard_id
+        self.x_lo = float(edges[k])
+        self.x_hi = float(edges[k + 1])
+        self._left_guard = float(edges[k - 1]) if k > 0 else 0.0
+        self._right_guard = (
+            float(edges[k + 2])
+            if k < self.n_workers - 1
+            else float(self.domain.nx)
+        )
+        self._publish_layout()
+
     # -- rare traffic ----------------------------------------------------
 
     def gather_payload(self) -> Dict[str, np.ndarray]:
@@ -578,6 +652,24 @@ def _worker_main(worker, start_b, mid_b, end_b, ctrl, conn) -> None:
                     ctrl[CTRL_ERROR] = worker.shard_id + 1
                     conn.send(traceback.format_exc())
             end_b.wait()
+        elif cmd == CMD_REBALANCE:
+            step = int(ctrl[CTRL_STEP])
+            if not failed:
+                try:
+                    worker.rebalance_a(step)
+                except BaseException:
+                    failed = True
+                    ctrl[CTRL_ERROR] = worker.shard_id + 1
+                    conn.send(traceback.format_exc())
+            mid_b.wait()
+            if not failed:
+                try:
+                    worker.rebalance_b()
+                except BaseException:
+                    failed = True
+                    ctrl[CTRL_ERROR] = worker.shard_id + 1
+                    conn.send(traceback.format_exc())
+            end_b.wait()
         elif cmd == CMD_GATHER:
             if worker.reservoir is not None and not failed:
                 try:
@@ -623,6 +715,16 @@ class ShardedBackend:
         deterministic fault-injection hooks in the workers and the
         migration channels.  ``None`` (the default) leaves every hook
         dormant at zero overhead.
+    rebalance:
+        Optional :class:`repro.parallel.rebalance.RebalanceConfig`
+        enabling cadenced adaptive load balancing.  ``None`` (the
+        default) keeps the decomposition static: no rebalance code runs
+        beyond one ``is None`` test per step, so disabled runs are
+        bitwise identical to pre-rebalancer behavior.
+    edges:
+        Optional explicit slab-edge tuple (length ``n_workers + 1``)
+        to bind with, instead of the uniform split -- snapshot-restore
+        continuity for checkpoints taken after a rebalance.
     """
 
     def __init__(
@@ -634,6 +736,8 @@ class ShardedBackend:
         flux_pending: int = 0,
         barrier_timeout: float = 300.0,
         fault_plan=None,
+        rebalance: Optional[RebalanceConfig] = None,
+        edges: Optional[Tuple[int, ...]] = None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError("n_workers must be >= 1")
@@ -641,6 +745,11 @@ class ShardedBackend:
             raise ConfigurationError("capacity_factor must be >= 1")
         if flux_pending < 0:
             raise ConfigurationError("flux_pending must be non-negative")
+        if edges is not None and len(edges) != n_workers + 1:
+            raise ConfigurationError(
+                f"edges must have length n_workers + 1 = {n_workers + 1}, "
+                f"got {len(edges)}"
+            )
         self.n_workers = n_workers
         self._processes = bool(processes)
         self._capacity_factor = float(capacity_factor)
@@ -648,12 +757,19 @@ class ShardedBackend:
         self._flux_pending0 = int(flux_pending)
         self._barrier_timeout = float(barrier_timeout)
         self.fault_plan = fault_plan
+        self.rebalance_config = rebalance
+        self._edges0 = tuple(int(e) for e in edges) if edges is not None else None
         self._serial = SerialBackend() if n_workers == 1 else None
         self._bound = False
         self._closed = False
         self._procs: List = []
         self._pipes: List = []
         self._workers: List[ShardWorker] = []
+        #: Lifetime rebalance counters (telemetry reads these).
+        self.rebalance_count = 0
+        self.rebalance_skipped = 0
+        self.rebalance_columns_moved = 0
+        self._pending_rebalance_event: Optional[Dict] = None
 
     # -- seam: bind -----------------------------------------------------
 
@@ -676,7 +792,10 @@ class ShardedBackend:
                 "to key the per-shard RNG streams"
             )
         W = self.n_workers
-        self._slabs = ShardSlabs.split(cfg.domain.nx, W)
+        if self._edges0 is not None:
+            self._slabs = ShardSlabs.from_edges(cfg.domain.nx, self._edges0)
+        else:
+            self._slabs = ShardSlabs.split(cfg.domain.nx, W)
 
         ctx = None
         if self._processes:
@@ -701,7 +820,12 @@ class ShardedBackend:
             "diag": alloc((W, NDIAG), np.float64),
             "samp": alloc((W, 6, n_cells), np.float64),
             "misc": self._misc,
+            # Live slab edges: the parent publishes a repartition here
+            # before issuing CMD_REBALANCE; workers re-read their slab
+            # bounds from it at the end of the epoch.
+            "edges": alloc((W + 1,), np.int64),
         }
+        shared["edges"][:] = np.asarray(self._slabs.edges, dtype=np.int64)
         if sim.surface is not None:
             ns = sim.surface.n_strips
             shared["surf"] = alloc((W, 2, ns + 1), np.float64)
@@ -727,12 +851,14 @@ class ShardedBackend:
         self._set0: List[Dict[str, np.ndarray]] = []
         self._set1: List[Dict[str, np.ndarray]] = []
         self._workers = []
+        self._shard_caps = np.zeros(W, dtype=np.int64)
         for k in range(W):
             seg = sim.particles.select(order[splits[k] : splits[k + 1]])
             cap_k = max(
                 512,
                 int(self._capacity_factor * max(seg.n, n_global // W)),
             )
+            self._shard_caps[k] = cap_k
             set0: Dict[str, np.ndarray] = {}
             set1: Dict[str, np.ndarray] = {}
             for name in COLUMN_NAMES:
@@ -842,7 +968,11 @@ class ShardedBackend:
         sim.step_count += 1
         if sample:
             self._sample_steps += 1
-        return self._merge_diagnostics(sim)
+        diag = self._merge_diagnostics(sim)
+        rb = self.rebalance_config
+        if rb is not None and sim.step_count % rb.every == 0:
+            self.maybe_rebalance(sim.step_count)
+        return diag
 
     def _await(self, barrier, step: Optional[int] = None) -> None:
         """Wait on a step barrier; on failure, diagnose and raise typed.
@@ -933,6 +1063,118 @@ class ShardedBackend:
                 sim.perf.last_step_seconds if sim.perf.enabled else None
             ),
         )
+
+    # -- adaptive load balancing ----------------------------------------
+
+    @property
+    def slab_edges(self) -> Optional[Tuple[int, ...]]:
+        """Current slab-edge tuple (``None`` for the serial delegate)."""
+        if self._serial is not None or not self._bound:
+            return None
+        return self._slabs.edges
+
+    def _column_histogram(self) -> np.ndarray:
+        """Global per-column particle counts, read from shard memory.
+
+        A pure function of simulation state (never wall-clock), read
+        between steps while every worker is idle at the start barrier
+        -- this is what keeps the rebalance decision, and therefore the
+        whole run, bitwise reproducible at a fixed worker count.
+        """
+        nx = self._slabs.nx
+        hist = np.zeros(nx, dtype=np.int64)
+        flags = self._shared["front_flags"]
+        xi = COLUMN_NAMES.index("x")
+        for k in range(self.n_workers):
+            nk = int(self._shared["n_parts"][k])
+            src = self._set0[k] if flags[k, xi] == 0 else self._set1[k]
+            cols = np.clip(
+                np.floor(src["x"][:nk]).astype(np.int64), 0, nx - 1
+            )
+            hist += np.bincount(cols, minlength=nx)
+        return hist
+
+    def maybe_rebalance(self, step: int, force: bool = False) -> bool:
+        """Run the measure -> decide -> act loop once.
+
+        Measures the per-shard loads, and when the max-over-mean
+        imbalance exceeds the configured threshold (or ``force`` is
+        set), plans new edges, re-validates channel and buffer capacity
+        against the exact planned transfers, and executes the
+        repartition epoch.  Records a ``rebalance`` event (executed or
+        skipped, with the measured imbalance and columns moved) for the
+        telemetry hub to collect via :meth:`take_rebalance_event`.
+        Returns ``True`` when a repartition was executed.
+        """
+        if self._serial is not None or not self._bound or self._closed:
+            return False
+        cfg = self.rebalance_config or RebalanceConfig(every=1)
+        loads = np.asarray(self._shared["n_parts"], dtype=np.float64)
+        imb = load_imbalance(loads)
+        if not force and imb < cfg.threshold:
+            return False
+        hist = self._column_histogram()
+        old = self._slabs
+        new = old.rebalance(hist, max_shift=cfg.max_shift)
+        event: Dict = {
+            "step": int(step),
+            "imbalance": float(imb),
+            "edges_before": list(old.edges),
+            "edges_after": list(new.edges),
+            "columns_moved": int(
+                np.abs(
+                    np.asarray(new.edges) - np.asarray(old.edges)
+                ).sum()
+            ),
+            "rows_moved": 0,
+            "executed": False,
+            "skipped": None,
+        }
+        if new is old:
+            # Already at the clamped optimum: nothing to move.  Not an
+            # actionable event, so leave the counters untouched.
+            return False
+        reason = validate_plan(
+            old, new, hist, self._channels.capacity, self._shard_caps
+        )
+        if reason is not None:
+            event["skipped"] = reason
+            event["edges_after"] = list(old.edges)
+            event["columns_moved"] = 0
+            self.rebalance_skipped += 1
+            self._pending_rebalance_event = event
+            return False
+        to_left, to_right = planned_transfers(old, new, hist)
+        event["rows_moved"] = int(to_left.sum() + to_right.sum())
+        self._execute_rebalance(new, step)
+        event["executed"] = True
+        self.rebalance_count += 1
+        self.rebalance_columns_moved += event["columns_moved"]
+        self._pending_rebalance_event = event
+        return True
+
+    def _execute_rebalance(self, new: ShardSlabs, step: int) -> None:
+        """Publish the new edges and run the repartition epoch."""
+        self._shared["edges"][:] = np.asarray(new.edges, dtype=np.int64)
+        self._slabs = new
+        if self._processes:
+            self._ctrl[CTRL_CMD] = CMD_REBALANCE
+            self._ctrl[CTRL_STEP] = step
+            self._await(self._start_barrier, step=step)
+            self._await(self._end_barrier, step=step)
+            if self._ctrl[CTRL_ERROR]:
+                self._raise_worker_error(step=step)
+        else:
+            for w in self._workers:
+                w.rebalance_a(step)
+            for w in self._workers:
+                w.rebalance_b()
+
+    def take_rebalance_event(self) -> Optional[Dict]:
+        """Pop the latest rebalance event (telemetry hub hook)."""
+        ev = self._pending_rebalance_event
+        self._pending_rebalance_event = None
+        return ev
 
     # -- seam: gather ---------------------------------------------------
 

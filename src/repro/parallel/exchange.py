@@ -100,6 +100,21 @@ class MigrationChannels:
         dst = src - 1 if direction == LEFT else src + 1
         return dst if 0 <= dst < self.n_workers else None
 
+    def _published_step(self) -> int:
+        """The step the workers published for this exchange.
+
+        The publish-before-ship contract is load-bearing for fault
+        keying: ``step`` may legitimately be ``0`` (a fault scheduled
+        for the very first step must fire there), so an unpublished
+        step must fail loudly rather than silently alias to step 0.
+        """
+        if self._step is None:
+            raise ConfigurationError(
+                "a fault plan is armed but no step was published before "
+                "ship(); workers must set channels._step each exchange"
+            )
+        return self._step
+
     def buffers(self, src: int, direction: int) -> Tuple[np.ndarray, np.ndarray]:
         """``(float_block, perm_block)`` of one directed channel."""
         try:
@@ -131,7 +146,9 @@ class MigrationChannels:
         cap = min(self.capacity, fb.shape[0])
         fault = None
         if self._fault_plan is not None and idx.shape[0] > 0:
-            fault = self._fault_plan.take("overflow", self._step or 0, src)
+            fault = self._fault_plan.take(
+                "overflow", self._published_step(), src
+            )
             if fault is not None:
                 cap = fault.capacity
         if idx.shape[0] > cap:
@@ -147,10 +164,11 @@ class MigrationChannels:
             )
         m = parts.pack_rows(idx, fb, pb)
         if self._fault_plan is not None and m > 0:
-            f = self._fault_plan.take("corrupt", self._step or 0, src)
+            step = self._published_step()
+            f = self._fault_plan.take("corrupt", step, src)
             if f is not None:
                 fb[:m] = self._fault_plan.corruption_pattern(
-                    self._step or 0, src, fb[:m].shape
+                    step, src, fb[:m].shape
                 )
         self.counts[src, direction] = m
         if m > self.high_water[src, direction]:

@@ -1,10 +1,13 @@
 """Slab decomposition of the cell grid for sharded execution.
 
-The tunnel is cut into ``n_workers`` contiguous x-slabs of (nearly)
-equal cell width.  Slab boundaries sit on integer cell columns, so
-every grid cell -- and therefore every particle after boundary
-enforcement -- belongs to exactly one shard, and the selection rule's
-per-cell machinery runs unchanged inside each shard.
+The tunnel is cut into ``n_workers`` contiguous x-slabs; boundaries
+sit on integer cell columns, so every grid cell -- and therefore every
+particle after boundary enforcement -- belongs to exactly one shard,
+and the selection rule's per-cell machinery runs unchanged inside each
+shard.  :meth:`ShardSlabs.split` produces the (nearly) equal-width
+static decomposition; slabs need not stay uniform -- any edge tuple
+respecting :data:`MIN_SLAB_WIDTH` is a valid decomposition, and
+:meth:`ShardSlabs.rebalance` plans a new one from measured loads.
 
 This mirrors the paper's processor decomposition: where the CM-2
 assigns one virtual processor per particle and lets the sort migrate
@@ -19,7 +22,7 @@ the mean drift crosses slab faces, the transverse motion never does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +33,14 @@ from repro.errors import ConfigurationError
 #: shards); molecular speeds in the validation regime are O(1) cell
 #: per step, so two cells of slab width is already a 2x guard band.
 MIN_SLAB_WIDTH = 2
+
+#: Default damping clamp of :meth:`ShardSlabs.rebalance`: no edge
+#: moves more than this many columns per rebalance event.  Small moves
+#: keep each repartition's migration traffic bounded (and well inside
+#: the exchange-channel capacity) at the cost of converging over a few
+#: events instead of one -- the cadenced analogue of the paper's
+#: every-sort re-homing.
+DEFAULT_MAX_SHIFT = 4
 
 
 @dataclass(frozen=True)
@@ -63,6 +74,11 @@ class ShardSlabs:
             int(round(k * nx / n_workers)) for k in range(n_workers + 1)
         )
         return cls(nx=nx, edges=edges)
+
+    @classmethod
+    def from_edges(cls, nx: int, edges: Sequence[int]) -> "ShardSlabs":
+        """Decomposition with explicit (possibly non-uniform) edges."""
+        return cls(nx=int(nx), edges=tuple(int(e) for e in edges))
 
     def __post_init__(self) -> None:
         if len(self.edges) < 2 or self.edges[0] != 0 or self.edges[-1] != self.nx:
@@ -105,3 +121,105 @@ class ShardSlabs:
         splits = np.searchsorted(shard, np.arange(self.n_workers + 1),
                                  sorter=order)
         return order, splits
+
+    # -- adaptive load balancing ----------------------------------------
+
+    def column_loads(self, loads: Sequence[float]) -> np.ndarray:
+        """Per-column load vector from per-column or per-shard loads.
+
+        ``loads`` of length ``nx`` is taken as measured per-column
+        counts; length ``n_workers`` is spread uniformly over each
+        slab's columns (the coarse fallback when only shard totals are
+        known).  ``MIN_SLAB_WIDTH >= 2`` guarantees ``nx > n_workers``,
+        so the two cases never collide.
+        """
+        arr = np.asarray(loads, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ConfigurationError("loads must be a 1-D vector")
+        if (arr < 0).any() or not np.isfinite(arr).all():
+            raise ConfigurationError("loads must be finite and non-negative")
+        if arr.shape[0] == self.nx:
+            return arr
+        if arr.shape[0] == self.n_workers:
+            col = np.empty(self.nx, dtype=np.float64)
+            for k in range(self.n_workers):
+                lo, hi = self.edges[k], self.edges[k + 1]
+                col[lo:hi] = arr[k] / (hi - lo)
+            return col
+        raise ConfigurationError(
+            f"loads must have length nx={self.nx} (per column) or "
+            f"n_workers={self.n_workers} (per shard), got {arr.shape[0]}"
+        )
+
+    def slab_sums(self, column_loads: np.ndarray,
+                  edges: Tuple[int, ...]) -> np.ndarray:
+        """Per-slab load totals of ``column_loads`` under ``edges``."""
+        cum = np.concatenate(([0.0], np.cumsum(column_loads)))
+        e = np.asarray(edges)
+        return cum[e[1:]] - cum[e[:-1]]
+
+    def rebalance(
+        self,
+        loads: Sequence[float],
+        max_shift: int = DEFAULT_MAX_SHIFT,
+    ) -> "ShardSlabs":
+        """Plan new edges that equalize the predicted per-slab load.
+
+        Pure arithmetic on the load vector (per-column counts, or
+        per-shard totals spread uniformly -- see :meth:`column_loads`),
+        so the plan is deterministic: the same loads always produce the
+        same edges, which is what keeps W-worker runs bitwise
+        reproducible when the rebalancer is driven from particle counts
+        rather than wall-clock timings.
+
+        Each new edge is the load-quantile column (slab ``k`` targets
+        ``k/W`` of the total), subject to three clamps:
+
+        * **damping** -- no edge moves more than ``max_shift`` columns
+          per event (bounds the repartition's migration traffic);
+        * **adjacency** -- an edge stays within its old neighbours'
+          slabs, so every ceded column transfers between *adjacent*
+          shards and the existing two-neighbour exchange channels can
+          carry the repartition;
+        * **width** -- every new slab keeps >= :data:`MIN_SLAB_WIDTH`
+          columns (the one-step-crossing guard band).
+
+        Returns ``self`` when the plan moves nothing.
+        """
+        if max_shift < MIN_SLAB_WIDTH:
+            # The min-width repair below can move an edge by up to
+            # MIN_SLAB_WIDTH columns, so a tighter clamp could not be
+            # honored.
+            raise ConfigurationError(
+                f"max_shift must be >= MIN_SLAB_WIDTH ({MIN_SLAB_WIDTH})"
+            )
+        W = self.n_workers
+        if W == 1:
+            return self
+        col = self.column_loads(loads)
+        total = float(col.sum())
+        if total <= 0.0:
+            return self
+        cum = np.concatenate(([0.0], np.cumsum(col)))
+        new = list(self.edges)
+        for k in range(1, W):
+            target = total * k / W
+            ideal = int(np.searchsorted(cum, target, side="left"))
+            old = self.edges[k]
+            e = min(max(ideal, old - max_shift), old + max_shift)
+            e = min(max(e, self.edges[k - 1]), self.edges[k + 1])
+            e = min(max(e, k * MIN_SLAB_WIDTH),
+                    self.nx - (W - k) * MIN_SLAB_WIDTH)
+            new[k] = e
+        # Left-to-right min-width repair.  Every edge sits at most at
+        # nx - (W - k) * MIN_SLAB_WIDTH (clamped above), so raising
+        # edge k to edge k-1 + MIN_SLAB_WIDTH never exceeds its own
+        # ceiling, and raises it by at most MIN_SLAB_WIDTH past its old
+        # neighbour's position -- which keeps both the damping and the
+        # adjacency bounds intact (old slabs are >= MIN_SLAB_WIDTH wide).
+        for k in range(1, W):
+            new[k] = max(new[k], new[k - 1] + MIN_SLAB_WIDTH)
+        edges = tuple(int(e) for e in new)
+        if edges == self.edges:
+            return self
+        return ShardSlabs(nx=self.nx, edges=edges)

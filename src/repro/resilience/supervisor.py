@@ -205,6 +205,7 @@ class SupervisedRun:
         self._processes = bool(getattr(backend, "_processes", False))
         self._barrier_timeout = getattr(backend, "_barrier_timeout", None)
         self._channel_capacity = getattr(backend, "_channel_capacity", None)
+        self._rebalance = getattr(backend, "rebalance_config", None)
 
         if _meta is not None:
             self._meta = _meta
@@ -502,7 +503,7 @@ class SupervisedRun:
                 }
             )
 
-    def _backend_factory(self, n_workers, processes, flux_pending):
+    def _backend_factory(self, n_workers, processes, flux_pending, edges=None):
         """Respawn a sharded backend with the run's knobs re-applied."""
         from repro.parallel.backend import ShardedBackend
 
@@ -510,6 +511,8 @@ class SupervisedRun:
             "processes": processes,
             "flux_pending": flux_pending,
             "fault_plan": self.fault_plan,
+            "rebalance": self._rebalance,
+            "edges": edges,
         }
         if self._barrier_timeout is not None:
             kwargs["barrier_timeout"] = self._barrier_timeout

@@ -251,6 +251,7 @@ class Telemetry:
             self._m_uspp.observe(us_pp)
 
         self._count_migrations(sim)
+        self._collect_rebalance(sim, step)
 
         do_obs = step % self.observables_every == 0
         do_sample = step % self.sample_every == 0
@@ -281,6 +282,43 @@ class Telemetry:
             )
         self._m_migrations.inc(int(counts.sum()))
         self._last_channel_counts = counts
+
+    def _collect_rebalance(self, sim, step: int) -> None:
+        """Ingest the backend's latest rebalance event, if any.
+
+        This is where the measured ``load_imbalance`` gauge is finally
+        *consumed*, not just emitted: the backend acts on the same
+        per-shard loads and reports back what it did (or why it
+        skipped), and the hub turns that into counters and a JSONL
+        ``rebalance`` event.
+        """
+        take_fn = getattr(sim.backend, "take_rebalance_event", None)
+        if not callable(take_fn):
+            return
+        event = take_fn()
+        if event is None:
+            return
+        reg = self.registry
+        if event.get("executed"):
+            reg.counter(
+                "repro_rebalances_total",
+                help="slab repartitions executed",
+            ).inc()
+            reg.counter(
+                "repro_rebalance_columns_moved_total",
+                help="cell columns re-homed by slab repartitions",
+            ).inc(int(event.get("columns_moved", 0)))
+            reg.counter(
+                "repro_rebalance_rows_moved_total",
+                help="particle rows shipped by slab repartitions",
+            ).inc(int(event.get("rows_moved", 0)))
+        else:
+            reg.counter(
+                "repro_rebalances_skipped_total",
+                help="slab repartitions skipped (capacity re-validation)",
+            ).inc()
+        if self.stream is not None:
+            self.stream.emit("rebalance", **event)
 
     def _sample_backend(self, sim) -> Optional[float]:
         """Sharded-backend extras: loads, channels, worker spans.
@@ -428,6 +466,9 @@ class Telemetry:
                 f"/rb {int(self._m_rebuilds.value)}"
             )
         parts.append(f"rec {int(rec)}")
+        bal = self.registry.counter("repro_rebalances_total").value
+        if bal:
+            parts.append(f"bal {int(bal)}")
         print("  ".join(parts), file=sys.stderr, flush=True)
 
     # -- supervisor-facing hooks ----------------------------------------

@@ -43,7 +43,9 @@ def summarize(run_dir: PathLike) -> dict:
         "run_dir": str(run_dir),
         "workers": None,
         "seed": None,
-        "steps": 0,
+        # None = "step count never reported" (distinct from a genuine
+        # zero-step run, which the metrics snapshot reports as 0).
+        "steps": None,
         "last_step": None,
         "n_flow": None,
         "us_per_particle_mean": None,
@@ -57,6 +59,9 @@ def summarize(run_dir: PathLike) -> dict:
         "audit_failures": 0,
         "recoveries": 0,
         "checkpoints": 0,
+        "rebalances": 0,
+        "rebalances_skipped": 0,
+        "rebalance_columns_moved": 0,
         "mean_free_path_bands": None,
     }
     us_samples: List[float] = []
@@ -91,14 +96,26 @@ def summarize(run_dir: PathLike) -> dict:
             summary["recoveries"] += 1
         elif kind == "checkpoint":
             summary["checkpoints"] += 1
+        elif kind == "rebalance":
+            if ev.get("executed"):
+                summary["rebalances"] += 1
+                summary["rebalance_columns_moved"] += int(
+                    ev.get("columns_moved", 0)
+                )
+            else:
+                summary["rebalances_skipped"] += 1
         elif kind == "observables":
             summary["mean_free_path_bands"] = ev.get("mean_free_path_bands")
         elif kind == "run_end":
             snap = ev.get("snapshot", {})
             metrics = snap.get("metrics", {})
             steps = metrics.get("repro_steps_total", {})
-            summary["steps"] = int(steps.get("value", summary["steps"]))
-    if not summary["steps"] and summary["last_step"] is not None:
+            val = steps.get("value")
+            if val is not None:
+                summary["steps"] = int(val)
+    # Fall back to the last metrics step only when the count was never
+    # reported -- a reported 0 (zero-step run) stands as-is.
+    if summary["steps"] is None and summary["last_step"] is not None:
         summary["steps"] = int(summary["last_step"])
     if us_samples:
         summary["us_per_particle_mean"] = sum(us_samples) / len(us_samples)
@@ -149,6 +166,11 @@ def render(summary: dict) -> str:
         ("audits (failures)", f"{summary['audits']} ({summary['audit_failures']})"),
         ("recoveries", _fmt(summary["recoveries"])),
         ("checkpoints", _fmt(summary["checkpoints"])),
+        (
+            "rebalances (skipped)",
+            f"{summary['rebalances']} ({summary['rebalances_skipped']})",
+        ),
+        ("columns rebalanced", _fmt(summary["rebalance_columns_moved"])),
     ]
     width = max(len(label) for label, _ in rows)
     return "\n".join(f"{label:<{width}} : {value}" for label, value in rows)
@@ -157,8 +179,13 @@ def render(summary: dict) -> str:
 def render_diff(a: dict, b: dict) -> str:
     """Side-by-side comparison of two run summaries with deltas."""
     def delta(x, y):
-        if x is None or y is None or x == 0:
+        if x is None or y is None:
             return "-"
+        if x == 0:
+            # A relative delta from a clean baseline is undefined, but
+            # the regression is real -- report the absolute change
+            # (0 recoveries -> 3 must not render as "-").
+            return "-" if y == 0 else f"{y - x:+g}"
         return f"{100.0 * (y - x) / abs(x):+.1f}%"
 
     rows = [
@@ -188,7 +215,13 @@ def render_diff(a: dict, b: dict) -> str:
             "recoveries",
             _fmt(a["recoveries"]),
             _fmt(b["recoveries"]),
-            "",
+            delta(a["recoveries"], b["recoveries"]),
+        ),
+        (
+            "rebalances",
+            _fmt(a.get("rebalances", 0)),
+            _fmt(b.get("rebalances", 0)),
+            delta(a.get("rebalances", 0), b.get("rebalances", 0)),
         ),
     ]
     w0 = max(len(r[0]) for r in rows)

@@ -327,6 +327,50 @@ class TestReport:
         assert main([str(tmp_path), "--json"]) == 0
         assert json.loads(capsys.readouterr().out)["steps"] == 10
 
+    def test_zero_step_run_reports_zero(self, tmp_path):
+        # Regression: ``if not summary["steps"]`` conflated a reported
+        # step count of 0 with "metric absent" and fell back to the
+        # last metrics step.  A genuine zero-step run must report 0.
+        stream = EventStream(tmp_path)
+        stream.emit("run_start", step=0, n_flow=10, workers=1, seed=1)
+        stream.emit("metrics", step=40, n_flow=10)
+        stream.emit("run_end", snapshot={
+            "metrics": {"repro_steps_total": {"value": 0}}
+        })
+        assert summarize(tmp_path)["steps"] == 0
+
+    def test_missing_step_metric_falls_back_to_last_step(self, tmp_path):
+        stream = EventStream(tmp_path)
+        stream.emit("run_start", step=0, n_flow=10, workers=1, seed=1)
+        stream.emit("metrics", step=40, n_flow=10)
+        stream.emit("run_end", snapshot={"metrics": {}})
+        assert summarize(tmp_path)["steps"] == 40
+
+    def test_diff_from_zero_baseline_shows_absolute_delta(self, tmp_path):
+        # Regression: a relative delta from a baseline of exactly 0 is
+        # undefined, and render_diff hid the regression as "-".
+        a, b = tmp_path / "a", tmp_path / "b"
+        _write_stream(a, recoveries=0)
+        _write_stream(b, recoveries=3)
+        diff = render_diff(summarize(a), summarize(b))
+        line = next(ln for ln in diff.splitlines() if "recoveries" in ln)
+        assert "+3" in line
+
+    def test_summarize_counts_rebalance_events(self, tmp_path):
+        stream = EventStream(tmp_path)
+        stream.emit("run_start", step=0, n_flow=10, workers=2, seed=1)
+        stream.emit("rebalance", step=10, executed=True, columns_moved=3)
+        stream.emit("rebalance", step=20, executed=False,
+                    skipped="channel capacity")
+        stream.emit("run_end", snapshot={
+            "metrics": {"repro_steps_total": {"value": 20}}
+        })
+        s = summarize(tmp_path)
+        assert s["rebalances"] == 1
+        assert s["rebalances_skipped"] == 1
+        assert s["rebalance_columns_moved"] == 3
+        assert "rebalances" in render(s)
+
 
 # -- perf ledger fixes --------------------------------------------------
 
