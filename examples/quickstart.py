@@ -1,37 +1,34 @@
 #!/usr/bin/env python
 """Quickstart: Mach 4 flow over a 30-degree wedge in ~100 lines of output.
 
-Runs a reduced-scale version of the paper's validation problem, prints
-live diagnostics, an ASCII density-contour map, and the figure-1
-validation numbers (shock angle, Rankine-Hugoniot density ratio)
-against theory.
+Runs a reduced-scale version of the paper's validation problem -- the
+``wedge`` scenario from the registry at half grid -- prints live
+diagnostics, an ASCII density-contour map, and the figure-1 validation
+numbers (shock angle, Rankine-Hugoniot density ratio) against theory.
 
 Run:
     python examples/quickstart.py
+
+Equivalent CLI:
+    python -m repro run wedge --nx 49 --ny 32 --seed 1
 """
 
 import math
 import time
 
-from repro import Domain, Freestream, Simulation, SimulationConfig, Wedge
 from repro.analysis.contour import render_ascii
 from repro.analysis.shock import fit_shock_angle, post_shock_plateau
 from repro.physics import theory
+from repro.scenarios import get
 
 
 def main() -> None:
-    config = SimulationConfig(
-        domain=Domain(nx=49, ny=32),           # half the paper's grid
-        freestream=Freestream(
-            mach=4.0,
-            c_mp=0.14,           # thermal speed, cells per time step
-            lambda_mfp=0.0,      # near-continuum validation limit
-            density=12.0,        # particles per cell
-        ),
-        wedge=Wedge(x_leading=10.0, base=12.5, angle_deg=30.0),
-        seed=1,
-    )
-    sim = Simulation(config)
+    # Half the paper's grid; the scenario supplies the freestream
+    # (Mach 4, 12 particles/cell, near-continuum) and the wedge
+    # placement (x_leading = 10, base = 12.5 at nx = 49).
+    spec = get("wedge")
+    sim = spec.build_simulation({"nx": 49, "ny": 32, "seed": 1})
+    config = sim.config
     print(
         f"seeded {sim.particles.n} flow particles + "
         f"{sim.reservoir.size} reservoir particles"

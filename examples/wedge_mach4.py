@@ -1,10 +1,10 @@
 #!/usr/bin/env python
 """The paper's validation experiment: Mach 4 flow over a 30-degree wedge.
 
-Reproduces figures 1-6 end to end on the paper's 98 x 64 grid: runs the
-near-continuum and rarefied (Kn = 0.02) solutions, extracts every number
-the paper reads off the figures, and writes the density fields to
-``wedge_mach4_out/``.
+Reproduces figures 1-6 end to end on the paper's 98 x 64 grid -- the
+``wedge`` scenario from the registry: runs the near-continuum and
+rarefied (Kn = 0.02) solutions, extracts every number the paper reads
+off the figures, and writes the density fields to ``wedge_mach4_out/``.
 
 Scale: by default the run uses 12 particles/cell (a few minutes); pass
 ``--full`` for the paper's ~80/cell, 1200 + 2000 step schedule (hours).
@@ -18,7 +18,7 @@ import math
 import pathlib
 import time
 
-from repro import Domain, Freestream, Simulation, SimulationConfig, Wedge
+from repro import Simulation
 from repro.analysis.contour import render_ascii, save_field_npz
 from repro.analysis.report import ExperimentRecord
 from repro.analysis.shock import (
@@ -29,22 +29,20 @@ from repro.analysis.shock import (
     wake_recompression_factor,
 )
 from repro.physics import theory
+from repro.scenarios import get
 
-DOMAIN = Domain(98, 64)
-WEDGE = Wedge(x_leading=20.0, base=25.0, angle_deg=30.0)
+SPEC = get("wedge")
+# The paper placement at the spec's 98-column grid: x_leading = 20,
+# base = 25, 30 degrees.  The analysis helpers below take the body and
+# domain explicitly, so build them once from the spec.
+WEDGE = SPEC.build_body()
 
 
 def run_case(lambda_mfp: float, density: float, schedule, seed: int = 1989):
     transient, averaging = schedule
-    cfg = SimulationConfig(
-        domain=DOMAIN,
-        freestream=Freestream(
-            mach=4.0, c_mp=0.14, lambda_mfp=lambda_mfp, density=density
-        ),
-        wedge=WEDGE,
-        seed=seed,
+    sim = SPEC.build_simulation(
+        {"lambda_mfp": lambda_mfp, "density": density, "seed": seed}
     )
-    sim = Simulation(cfg)
     label = "near-continuum" if lambda_mfp == 0 else f"lambda={lambda_mfp}"
     print(f"\n=== {label}: {sim.particles.n} particles ===")
     t0 = time.time()
@@ -60,7 +58,7 @@ def analyze(sim: Simulation, label: str) -> ExperimentRecord:
     fit = fit_shock_angle(rho, WEDGE)
     plateau = post_shock_plateau(rho, WEDGE, fit)
     thick = shock_thickness(rho, WEDGE, fit, plateau=plateau)
-    wake = wake_recompression_factor(rho, WEDGE, DOMAIN)
+    wake = wake_recompression_factor(rho, WEDGE, sim.config.domain)
 
     beta = theory.shock_angle_deg(4.0, 30.0)
     ratio = theory.oblique_shock_density_ratio(4.0, math.radians(30.0))
@@ -90,7 +88,7 @@ def main() -> None:
     args = parser.parse_args()
 
     density = 80.0 if args.full else 12.0
-    schedule = (1200, 2000) if args.full else (350, 350)
+    schedule = (1200, 2000) if args.full else SPEC.resolve_schedule()
     out = pathlib.Path("wedge_mach4_out")
     out.mkdir(exist_ok=True)
 

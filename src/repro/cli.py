@@ -2,9 +2,14 @@
 
 Subcommands:
 
-* ``wedge`` -- the validation experiment (figures 1-6 metrics): runs the
-  Mach-4 wedge tunnel and prints shock angle, density ratio, thickness,
-  wake metrics and the Prandtl-Meyer fan check against theory.
+* ``run`` -- run any registered scenario (``repro run --list``): the
+  seed wedge, the free-molecular flat plate, the cylinder blunt body,
+  the channel constriction, the unsteady impulsive start, the 3-D
+  wedge prism.  ``--validate`` checks the scenario's golden /
+  closed-form acceptance contract instead of running the schedule.
+* ``wedge`` -- back-compat alias for the Mach-4 wedge validation
+  (figures 1-6 metrics); identical behaviour to ``run wedge`` with the
+  same flags, kept so existing scripts and docs never break.
 * ``heatbath`` -- the collision-scheme comparison (Bird / Nanbu /
   McDonald-Baganoff) on a uniform relaxation workload.
 * ``timing`` -- the figure-7 curve from the calibrated CM-2 timing
@@ -25,6 +30,62 @@ from typing import List, Optional
 import numpy as np
 
 
+def _add_infra_flags(p: argparse.ArgumentParser, default_dir: str) -> None:
+    """Execution-infrastructure flags shared by ``run`` and ``wedge``."""
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard the tunnel into N x-slabs stepped by N "
+                        "worker processes (1 = serial engine)")
+    p.add_argument("--balance", type=str, default="off", metavar="SPEC",
+                   help="adaptive load balancing for sharded runs: "
+                        "'every:N' repartitions the slabs from measured "
+                        "per-shard particle counts every N steps; "
+                        "'off' (default) keeps the static split")
+    p.add_argument("--supervised", action="store_true",
+                   help="run under the fault-tolerant supervisor "
+                        "(periodic checkpoints, invariant audits, "
+                        "automatic crash recovery)")
+    p.add_argument("--checkpoint-every", type=int, default=50,
+                   dest="checkpoint_every",
+                   help="supervised mode: checkpoint cadence in steps")
+    p.add_argument("--audit-every", type=int, default=50,
+                   dest="audit_every",
+                   help="supervised mode: invariant-audit cadence in steps")
+    p.add_argument("--max-retries", type=int, default=3, dest="max_retries",
+                   help="supervised mode: recoveries allowed before "
+                        "giving up")
+    p.add_argument("--run-dir", type=str, default=None, dest="run_dir",
+                   help="supervised mode: checkpoint/journal directory "
+                        f"(default {default_dir})")
+    p.add_argument("--resume", type=str, default=None, metavar="DIR",
+                   help="resume a supervised run from its run directory "
+                        "and finish the stored schedule (ignores the "
+                        "configuration flags)")
+    p.add_argument("--telemetry", action="store_true",
+                   help="record metrics/spans/events to a run directory "
+                        "(events.jsonl, metrics.prom, trace.json)")
+    p.add_argument("--telemetry-dir", type=str, default=None,
+                   dest="telemetry_dir",
+                   help="telemetry output directory (default: the "
+                        f"supervised run dir, or {default_dir}-telemetry)")
+    p.add_argument("--telemetry-port", type=int, default=None,
+                   dest="telemetry_port", metavar="PORT",
+                   help="serve live /metrics on this port (0 = ephemeral); "
+                        "implies --telemetry")
+    p.add_argument("--telemetry-every", type=int, default=10,
+                   dest="telemetry_every",
+                   help="steps between JSONL samples / .prom rewrites")
+    p.add_argument("--live", action="store_true",
+                   help="print a one-line telemetry status to stderr "
+                        "while stepping; implies --telemetry")
+    p.add_argument("--contours", action="store_true",
+                   help="print ASCII density contours")
+    p.add_argument("--save", type=str, default=None,
+                   help="write the density field to this .npz path")
+    p.add_argument("--vtk", type=str, default=None,
+                   help="write density/temperature/Mach fields to this "
+                        ".vtk path (ParaView)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -35,7 +96,49 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    w = sub.add_parser("wedge", help="run the Mach-4 wedge validation")
+    r = sub.add_parser(
+        "run",
+        help="run a registered scenario (see --list)",
+        description=(
+            "Run a scenario from the registry.  Flags left unset take "
+            "the scenario's declared defaults; see docs/scenarios.md "
+            "for the spec schema and the validation contract."
+        ),
+    )
+    r.add_argument("scenario", nargs="?", default=None,
+                   help="registered scenario name (try --list)")
+    r.add_argument("--list", action="store_true", dest="list_scenarios",
+                   help="list registered scenarios and exit")
+    r.add_argument("--validate", action="store_true",
+                   help="run the scenario's golden/closed-form validation "
+                        "contract instead of the full schedule; exit 1 on "
+                        "failure")
+    r.add_argument("--steps", type=int, default=None,
+                   help="smoke-run: sample for N steps total instead of "
+                        "the scenario's transient+average schedule")
+    r.add_argument("--nx", type=int, default=None,
+                   help="override the scenario grid width")
+    r.add_argument("--ny", type=int, default=None,
+                   help="override the scenario grid height")
+    r.add_argument("--mach", type=float, default=None)
+    r.add_argument("--angle", type=float, default=None,
+                   help="wedge angle override, deg (wedge scenarios only)")
+    r.add_argument("--density", type=float, default=None,
+                   help="particles per cell override")
+    r.add_argument("--lambda-mfp", type=float, default=None,
+                   dest="lambda_mfp",
+                   help="freestream mean free path override, cells")
+    r.add_argument("--seed", type=int, default=None)
+    r.add_argument("--transient", type=int, default=None,
+                   help="override the transient step count")
+    r.add_argument("--average", type=int, default=None,
+                   help="override the averaging step count")
+    _add_infra_flags(r, default_dir="runs/<scenario>-<seed>")
+
+    w = sub.add_parser(
+        "wedge",
+        help="run the Mach-4 wedge validation (alias of 'run wedge')",
+    )
     w.add_argument("--mach", type=float, default=4.0)
     w.add_argument("--angle", type=float, default=30.0, help="wedge angle, deg")
     w.add_argument("--nx", type=int, default=98)
@@ -47,58 +150,7 @@ def _build_parser() -> argparse.ArgumentParser:
     w.add_argument("--transient", type=int, default=350)
     w.add_argument("--average", type=int, default=350)
     w.add_argument("--seed", type=int, default=1989)
-    w.add_argument("--workers", type=int, default=1,
-                   help="shard the tunnel into N x-slabs stepped by N "
-                        "worker processes (1 = serial engine)")
-    w.add_argument("--balance", type=str, default="off", metavar="SPEC",
-                   help="adaptive load balancing for sharded runs: "
-                        "'every:N' repartitions the slabs from measured "
-                        "per-shard particle counts every N steps; "
-                        "'off' (default) keeps the static split")
-    w.add_argument("--supervised", action="store_true",
-                   help="run under the fault-tolerant supervisor "
-                        "(periodic checkpoints, invariant audits, "
-                        "automatic crash recovery)")
-    w.add_argument("--checkpoint-every", type=int, default=50,
-                   dest="checkpoint_every",
-                   help="supervised mode: checkpoint cadence in steps")
-    w.add_argument("--audit-every", type=int, default=50,
-                   dest="audit_every",
-                   help="supervised mode: invariant-audit cadence in steps")
-    w.add_argument("--max-retries", type=int, default=3, dest="max_retries",
-                   help="supervised mode: recoveries allowed before "
-                        "giving up")
-    w.add_argument("--run-dir", type=str, default=None, dest="run_dir",
-                   help="supervised mode: checkpoint/journal directory "
-                        "(default runs/wedge-<seed>)")
-    w.add_argument("--resume", type=str, default=None, metavar="DIR",
-                   help="resume a supervised run from its run directory "
-                        "and finish the stored schedule (ignores the "
-                        "configuration flags)")
-    w.add_argument("--telemetry", action="store_true",
-                   help="record metrics/spans/events to a run directory "
-                        "(events.jsonl, metrics.prom, trace.json)")
-    w.add_argument("--telemetry-dir", type=str, default=None,
-                   dest="telemetry_dir",
-                   help="telemetry output directory (default: the "
-                        "supervised run dir, or runs/wedge-<seed>-telemetry)")
-    w.add_argument("--telemetry-port", type=int, default=None,
-                   dest="telemetry_port", metavar="PORT",
-                   help="serve live /metrics on this port (0 = ephemeral); "
-                        "implies --telemetry")
-    w.add_argument("--telemetry-every", type=int, default=10,
-                   dest="telemetry_every",
-                   help="steps between JSONL samples / .prom rewrites")
-    w.add_argument("--live", action="store_true",
-                   help="print a one-line telemetry status to stderr "
-                        "while stepping; implies --telemetry")
-    w.add_argument("--contours", action="store_true",
-                   help="print ASCII density contours")
-    w.add_argument("--save", type=str, default=None,
-                   help="write the density field to this .npz path")
-    w.add_argument("--vtk", type=str, default=None,
-                   help="write density/temperature/Mach fields to this "
-                        ".vtk path (ParaView)")
+    _add_infra_flags(w, default_dir="runs/wedge-<seed>")
 
     h = sub.add_parser("heatbath", help="compare collision schemes")
     h.add_argument("--particles", type=int, default=20000)
@@ -115,12 +167,14 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _wedge_report(sim, args: argparse.Namespace) -> int:
-    """Print the validation metrics of a finished wedge run.
+def _run_report(sim, args: argparse.Namespace) -> int:
+    """Print the validation metrics of a finished run.
 
     Everything is derived from ``sim.config`` (not the CLI flags) so
     the same report serves fresh runs and ``--resume``-d ones, whose
     geometry lives in the checkpoint rather than the command line.
+    Wedge bodies get the shock metrology; other bodies get field
+    statistics (their quantitative contract lives in ``--validate``).
     """
     from repro.analysis.contour import render_ascii, save_field_npz
     from repro.analysis.shock import (
@@ -130,13 +184,14 @@ def _wedge_report(sim, args: argparse.Namespace) -> int:
         wake_floor_ridge,
     )
     from repro.errors import ReproError
+    from repro.geometry.wedge import Wedge
     from repro.physics import theory
 
     config = sim.config
     wedge = config.wedge
     mach = config.freestream.mach
     rho = sim.density_ratio_field()
-    if wedge is not None:
+    if isinstance(wedge, Wedge):
         beta = theory.shock_angle_deg(mach, wedge.angle_deg)
         ratio = theory.oblique_shock_density_ratio(
             mach, math.radians(wedge.angle_deg)
@@ -161,6 +216,13 @@ def _wedge_report(sim, args: argparse.Namespace) -> int:
             print(f"wake floor ridge: {ridge:7.2f}     (> 1: wake shock present)")
         except ReproError:
             pass
+    elif wedge is not None:
+        open_rho = rho[rho > 0]
+        print(f"peak compression: {float(rho.max()):7.2f} (freestream = 1)")
+        if open_rho.size:
+            print(f"open-cell floor : {float(open_rho.min()):7.2f}")
+        print(f"inlet band mean : {float(rho[2:8, :].mean()):7.2f} "
+              "(expected ~1)")
     if args.contours:
         print(render_ascii(rho))
     if args.save:
@@ -183,7 +245,7 @@ def _wedge_report(sim, args: argparse.Namespace) -> int:
 
 
 def _make_telemetry(args: argparse.Namespace, default_dir: str):
-    """Build the telemetry hub from the wedge flags (None if disabled)."""
+    """Build the telemetry hub from the run flags (None if disabled)."""
     enabled = (
         args.telemetry or args.live or args.telemetry_port is not None
     )
@@ -212,46 +274,43 @@ def _telemetry_outro(tel) -> None:
         )
 
 
-def _cmd_wedge(args: argparse.Namespace) -> int:
-    from repro.core.simulation import Simulation, SimulationConfig
-    from repro.geometry.domain import Domain
-    from repro.geometry.wedge import Wedge
-    from repro.physics.freestream import Freestream
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """Resume a supervised run from its directory (shared by run/wedge)."""
+    from repro.resilience import SupervisedRun
 
-    if args.resume:
-        from repro.resilience import SupervisedRun
-
-        run = SupervisedRun.resume(args.resume)
-        tel = _make_telemetry(args, default_dir=args.resume)
-        if tel is not None:
-            run.attach_telemetry(tel)
-        print(
-            f"resumed {args.resume} at step {run.sim.step_count}, "
-            f"{run.sim.backend.n_workers} worker(s)"
-        )
-        t0 = time.time()
-        with run:
-            run.run_schedule()
-            run.sim.gather()
-        _telemetry_outro(tel)
-        print(f"finished at step {run.sim.step_count} in {time.time()-t0:.0f} s")
-        return _wedge_report(run.sim, args)
-
-    domain = Domain(args.nx, args.ny)
-    wedge = Wedge(
-        x_leading=args.nx / 4.9,
-        base=args.nx / 3.92,
-        angle_deg=args.angle,
+    run = SupervisedRun.resume(args.resume)
+    tel = _make_telemetry(args, default_dir=args.resume)
+    if tel is not None:
+        run.attach_telemetry(tel)
+    print(
+        f"resumed {args.resume} at step {run.sim.step_count}, "
+        f"{run.sim.backend.n_workers} worker(s)"
     )
-    config = SimulationConfig(
-        domain=domain,
-        freestream=Freestream(
-            mach=args.mach, c_mp=0.14, lambda_mfp=args.lambda_mfp,
-            density=args.density,
-        ),
-        wedge=wedge,
-        seed=args.seed,
-    )
+    t0 = time.time()
+    with run:
+        run.run_schedule()
+        run.sim.gather()
+    _telemetry_outro(tel)
+    print(f"finished at step {run.sim.step_count} in {time.time()-t0:.0f} s")
+    return _run_report(run.sim, args)
+
+
+def _execute_schedule(
+    args: argparse.Namespace,
+    config,
+    transient: int,
+    average: int,
+    run_tag: str,
+) -> int:
+    """Build the engine from ``config`` and run the two-phase schedule.
+
+    The shared execution path of ``run`` and the ``wedge`` alias:
+    sharding, supervision, telemetry and the final report all hang off
+    the same flags.  ``run_tag`` names the default run directories
+    (``runs/<tag>`` / ``runs/<tag>-telemetry``).
+    """
+    from repro.core.simulation import Simulation
+
     backend = None
     if args.workers > 1:
         from repro.parallel.backend import ShardedBackend
@@ -262,16 +321,17 @@ def _cmd_wedge(args: argparse.Namespace) -> int:
         )
     elif args.balance not in ("off", ""):
         print("--balance requires --workers > 1; ignoring", file=sys.stderr)
-    run_dir = args.run_dir or f"runs/wedge-{args.seed}"
+    run_dir = args.run_dir or f"runs/{run_tag}"
     tel = _make_telemetry(
         args,
         default_dir=run_dir
         if args.supervised
-        else f"runs/wedge-{args.seed}-telemetry",
+        else f"runs/{run_tag}-telemetry",
     )
     sim = Simulation(config, backend=backend, telemetry=tel)
     print(
-        f"{sim.particles.n} particles, grid {args.nx}x{args.ny}, "
+        f"{sim.particles.n} particles, grid "
+        f"{config.domain.nx}x{config.domain.ny}, "
         f"{args.workers} worker(s)"
     )
     t0 = time.time()
@@ -285,10 +345,11 @@ def _cmd_wedge(args: argparse.Namespace) -> int:
             audit_every=args.audit_every,
             max_retries=args.max_retries,
         )
+        schedule = [
+            (n, s) for n, s in ((transient, False), (average, True)) if n
+        ]
         with run:
-            run.run_schedule(
-                [(args.transient, False), (args.average, True)]
-            )
+            run.run_schedule(schedule)
             sim = run.sim  # recovery may have replaced the simulation
             sim.gather()
         n_rec = sum(
@@ -297,13 +358,137 @@ def _cmd_wedge(args: argparse.Namespace) -> int:
         extra = f", {n_rec} recoveries" if n_rec else ""
         print(f"supervised run dir: {run_dir}{extra}")
     else:
-        sim.run(args.transient)
-        sim.run(args.average, sample=True)
+        if transient:
+            sim.run(transient)
+        if average:
+            sim.run(average, sample=True)
         sim.gather()
         sim.close()
     _telemetry_outro(tel)
-    print(f"ran {args.transient}+{args.average} steps in {time.time()-t0:.0f} s")
-    return _wedge_report(sim, args)
+    print(f"ran {transient}+{average} steps in {time.time()-t0:.0f} s")
+    return _run_report(sim, args)
+
+
+def _run_3d(spec, overrides, args: argparse.Namespace) -> int:
+    """Run a 3-D scenario on the plain serial driver."""
+    from repro.errors import ConfigurationError
+
+    unsupported = [
+        flag
+        for flag, on in (
+            ("--workers", args.workers > 1),
+            ("--supervised", args.supervised),
+            ("--resume", args.resume is not None),
+            ("--telemetry", args.telemetry or args.live
+             or args.telemetry_port is not None),
+            ("--vtk", args.vtk is not None),
+        )
+        if on
+    ]
+    if unsupported:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} runs on the 3-D driver, which does "
+            f"not support {unsupported} yet"
+        )
+    sim = spec.build_simulation(overrides)
+    d = sim.config.domain
+    print(
+        f"{sim.particles.n} particles, grid {d.nx}x{d.ny}x{d.nz} "
+        "(serial 3-D driver)"
+    )
+    transient, average = spec.resolve_schedule(overrides)
+    t0 = time.time()
+    if transient:
+        sim.run(transient)
+    if average:
+        sim.run(average, sample=True)
+    print(f"ran {transient}+{average} steps in {time.time()-t0:.0f} s")
+    return _run_report(sim, args)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.scenarios import all_specs, get, validate_scenario
+
+    if args.list_scenarios:
+        for spec in all_specs():
+            tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
+            print(f"{spec.name:<16s} {spec.title}{tags}")
+        return 0
+    if args.scenario is None:
+        print(
+            "usage: repro run <scenario> [flags] | repro run --list",
+            file=sys.stderr,
+        )
+        return 2
+    spec = get(args.scenario)  # unknown name -> ConfigurationError + list
+    if args.validate:
+        report = validate_scenario(spec)
+        print(report.to_text())
+        return 0 if report.ok else 1
+
+    overrides = {
+        k: v
+        for k, v in (
+            ("nx", args.nx),
+            ("ny", args.ny),
+            ("mach", args.mach),
+            ("angle", args.angle),
+            ("density", args.density),
+            ("lambda_mfp", args.lambda_mfp),
+            ("seed", args.seed),
+            ("transient", args.transient),
+            ("average", args.average),
+        )
+        if v is not None
+    }
+    if args.steps is not None:
+        # Smoke mode: sample from step zero so the report has a field
+        # even for very short runs.
+        overrides["transient"] = 0
+        overrides["average"] = args.steps
+    if spec.is_3d:
+        return _run_3d(spec, overrides, args)
+    if args.resume:
+        return _cmd_resume(args)
+    config = spec.build_config(**overrides)
+    transient, average = spec.resolve_schedule(overrides)
+    return _execute_schedule(
+        args, config, transient, average,
+        run_tag=f"{spec.name}-{config.seed}",
+    )
+
+
+def _cmd_wedge(args: argparse.Namespace) -> int:
+    """The legacy wedge entry point, kept bitwise identical.
+
+    Constructs the exact pre-registry configuration (no scenario tag,
+    so snapshots and telemetry stay byte-for-byte what they always
+    were) and hands it to the same executor as ``run``.
+    """
+    from repro.core.simulation import SimulationConfig
+    from repro.geometry.domain import Domain
+    from repro.geometry.wedge import Wedge
+    from repro.physics.freestream import Freestream
+
+    if args.resume:
+        return _cmd_resume(args)
+    config = SimulationConfig(
+        domain=Domain(args.nx, args.ny),
+        freestream=Freestream(
+            mach=args.mach, c_mp=0.14, lambda_mfp=args.lambda_mfp,
+            density=args.density,
+        ),
+        wedge=Wedge(
+            x_leading=args.nx / 4.9,
+            base=args.nx / 3.92,
+            angle_deg=args.angle,
+        ),
+        seed=args.seed,
+    )
+    return _execute_schedule(
+        args, config, args.transient, args.average,
+        run_tag=f"wedge-{args.seed}",
+    )
 
 
 def _cmd_heatbath(args: argparse.Namespace) -> int:
@@ -400,6 +585,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     handlers = {
+        "run": _cmd_run,
         "wedge": _cmd_wedge,
         "heatbath": _cmd_heatbath,
         "timing": _cmd_timing,

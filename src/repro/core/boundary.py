@@ -454,7 +454,7 @@ class WindTunnelBoundaries:
             still = self.wedge.inside(x[idx], y[idx])
             if np.any(still):
                 sidx = idx[still]
-                y[sidx] = self.wedge.ramp_height_at(x[sidx]) + 1e-9
+                x[sidx], y[sidx] = self.wedge.project_out(x[sidx], y[sidx])
         return int(idx.size)
 
     # -- helpers ---------------------------------------------------------
@@ -564,10 +564,12 @@ class WindTunnelBoundaries:
         if self.wedge is not None:
             still = self.wedge.inside(particles.x, particles.y)
             if np.any(still):
-                # Lift onto the ramp surface, just outside the solid.
-                particles.y[still] = (
-                    self.wedge.ramp_height_at(particles.x[still]) + 1e-9
+                # Snap onto the body surface, just outside the solid.
+                px, py = self.wedge.project_out(
+                    particles.x[still], particles.y[still]
                 )
+                particles.x[still] = px
+                particles.y[still] = py
         return n_bad
 
     def _refill_void(

@@ -63,7 +63,11 @@ class SimulationConfig:
     ----------
     domain, freestream, wedge:
         The tunnel, the oncoming stream, and the body (``None`` for an
-        empty tunnel).
+        empty tunnel).  ``wedge`` accepts any body implementing the
+        :mod:`repro.geometry.bodies` seam (:class:`Wedge`,
+        :class:`~repro.geometry.bodies.Cylinder`,
+        :class:`~repro.geometry.bodies.Step`); the field keeps its
+        historical name for compatibility.
     model:
         Molecular model (Maxwell diatomic by default).
     sort_scale:
@@ -86,6 +90,17 @@ class SimulationConfig:
         Reservoir self-collision rounds per step.
     seed:
         Master seed; every sub-stream derives from it.
+    wall_model:
+        Tunnel floor/ceiling gas-surface model (see
+        :data:`repro.core.boundary.WALL_MODELS`); the paper's inviscid
+        "specular" by default.
+    accommodation:
+        Maxwell-model accommodation coefficient (only the "maxwell"
+        wall model reads it).
+    scenario:
+        Registry id of the scenario this config was built from
+        (``None`` for hand-assembled configs).  Pure metadata: carried
+        into snapshots and telemetry, never read by the physics.
     """
 
     domain: Domain = field(default_factory=Domain)
@@ -98,11 +113,15 @@ class SimulationConfig:
     reservoir_fraction: float = 0.1
     reservoir_mix_rounds: int = 1
     seed: SeedLike = None
+    wall_model: str = "specular"
+    accommodation: float = 1.0
+    scenario: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.wedge is not None:
             self.wedge.validate_in(self.domain)
-            self._warn_if_detached()
+            if isinstance(self.wedge, Wedge):
+                self._warn_if_detached()
         if not 0.0 <= self.reservoir_fraction <= 1.0:
             raise ConfigurationError("reservoir_fraction must be in [0, 1]")
         if self.reservoir_mix_rounds < 0:
@@ -434,6 +453,8 @@ class Simulation:
             freestream=config.freestream,
             wedge=config.wedge,
             plunger_trigger=config.plunger_trigger,
+            wall_model=config.wall_model,
+            accommodation=config.accommodation,
         )
         self.particles = self._seed_flow()
         self.reservoir = Reservoir(
@@ -444,8 +465,9 @@ class Simulation:
         self.sampler = CellSampler(config.domain, self.volume_fractions)
         #: Surface-load accumulator (pressure / drag on the wedge);
         #: armed only during sampling steps so its averages align with
-        #: the field averages.
-        if config.wedge is not None:
+        #: the field averages.  Strip-resolved surface metrology is
+        #: wedge-specific; other bodies run without it.
+        if isinstance(config.wedge, Wedge):
             from repro.core.surface import SurfaceSampler
 
             self.surface = SurfaceSampler(config.wedge)

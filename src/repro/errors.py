@@ -22,6 +22,14 @@ class ConfigurationError(ReproError):
     """
 
 
+class ValidationError(ReproError):
+    """A scenario's golden/closed-form validation failed.
+
+    Carries the full per-check report text so CI logs show which
+    observable drifted and by how much.
+    """
+
+
 class FixedPointOverflowError(ReproError):
     """A fixed-point operation overflowed the 32-bit word."""
 

@@ -10,6 +10,15 @@ sampling.
 
 from repro.geometry.domain import Domain
 from repro.geometry.wedge import Wedge
+from repro.geometry.bodies import BODY_KINDS, Cylinder, Step, body_from_dict
 from repro.geometry import reflect
 
-__all__ = ["Domain", "Wedge", "reflect"]
+__all__ = [
+    "Domain",
+    "Wedge",
+    "Cylinder",
+    "Step",
+    "BODY_KINDS",
+    "body_from_dict",
+    "reflect",
+]

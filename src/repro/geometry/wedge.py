@@ -53,6 +53,8 @@ class Wedge:
     base: float = 25.0
     angle_deg: float = 30.0
 
+    kind = "wedge"
+
     def __post_init__(self) -> None:
         if self.base <= 0:
             raise GeometryError(f"base must be positive, got {self.base}")
@@ -160,6 +162,27 @@ class Wedge:
         py = cj[None, :, None, None] + oy[None, None, :, :]
         solid = self.inside(px, py)
         return 1.0 - solid.mean(axis=(2, 3))
+
+    def project_out(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Lift stragglers onto the ramp surface, just outside.
+
+        Last-resort positional rescue used by the boundary clamp after
+        the bounded reflection iteration: x unchanged, y placed an
+        epsilon above the local surface height.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        return x, self.ramp_height_at(x) + 1e-9
+
+    def to_config_dict(self) -> dict:
+        """Body parameters keyed for :func:`repro.geometry.bodies.body_from_dict`."""
+        return {
+            "kind": self.kind,
+            "x_leading": self.x_leading,
+            "base": self.base,
+            "angle_deg": self.angle_deg,
+        }
 
     # -- reflection -----------------------------------------------------------
 

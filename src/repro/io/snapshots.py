@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.particles import ParticleArrays
 from repro.core.simulation import Simulation, SimulationConfig
 from repro.errors import CheckpointCorruptionError, ConfigurationError
+from repro.geometry.bodies import body_from_dict
 from repro.geometry.domain import Domain
 from repro.geometry.wedge import Wedge
 from repro.physics.freestream import Freestream
@@ -53,13 +54,20 @@ def _config_to_json(config: SimulationConfig) -> str:
             "density": config.freestream.density,
             "gamma": config.freestream.gamma,
         },
+        # The wedge keeps writing its bare parameter dict (no "kind"
+        # key) so blobs from pre-registry runs and wedge runs stay
+        # byte-identical; other bodies carry their dispatch kind.
         "wedge": None
         if config.wedge is None
-        else {
-            "x_leading": config.wedge.x_leading,
-            "base": config.wedge.base,
-            "angle_deg": config.wedge.angle_deg,
-        },
+        else (
+            {
+                "x_leading": config.wedge.x_leading,
+                "base": config.wedge.base,
+                "angle_deg": config.wedge.angle_deg,
+            }
+            if isinstance(config.wedge, Wedge)
+            else config.wedge.to_config_dict()
+        ),
         "model": {
             "alpha": config.model.alpha
             if np.isfinite(config.model.alpha)
@@ -78,6 +86,15 @@ def _config_to_json(config: SimulationConfig) -> str:
         "reservoir_fraction": config.reservoir_fraction,
         "reservoir_mix_rounds": config.reservoir_mix_rounds,
     }
+    # Registry-era fields ride along only when they deviate from the
+    # defaults, keeping wedge-run blobs byte-identical to pre-registry
+    # archives (bitwise continuation tests compare them).
+    if config.wall_model != "specular":
+        blob["wall_model"] = config.wall_model
+    if config.accommodation != 1.0:
+        blob["accommodation"] = config.accommodation
+    if config.scenario is not None:
+        blob["scenario"] = config.scenario
     return json.dumps(blob)
 
 
@@ -93,7 +110,7 @@ def _config_from_json(blob: str) -> SimulationConfig:
     return SimulationConfig(
         domain=Domain(**d["domain"]),
         freestream=Freestream(**d["freestream"]),
-        wedge=None if d["wedge"] is None else Wedge(**d["wedge"]),
+        wedge=None if d["wedge"] is None else body_from_dict(d["wedge"]),
         model=model,
         sort_scale=int(d["sort_scale"]),
         # Archives predating the kernel field were counting-kernel runs;
@@ -103,6 +120,9 @@ def _config_from_json(blob: str) -> SimulationConfig:
         reservoir_fraction=float(d["reservoir_fraction"]),
         reservoir_mix_rounds=int(d["reservoir_mix_rounds"]),
         seed=0,  # the live RNG state below supersedes the seed
+        wall_model=d.get("wall_model", "specular"),
+        accommodation=float(d.get("accommodation", 1.0)),
+        scenario=d.get("scenario"),
     )
 
 

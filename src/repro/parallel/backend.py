@@ -185,6 +185,8 @@ class ShardWorker:
             freestream=config.freestream,
             wedge=config.wedge,
             plunger_trigger=config.plunger_trigger,
+            wall_model=config.wall_model,
+            accommodation=config.accommodation,
             has_inlet=(shard_id == 0),
             has_outlet=(shard_id == n_workers - 1),
         )

@@ -1,0 +1,47 @@
+"""The scenario registry: name -> :class:`ScenarioSpec`.
+
+One process-global table, populated by :mod:`repro.scenarios.library`
+at import time.  Lookups of unknown names raise
+:class:`~repro.errors.ConfigurationError` listing every registered
+name, so a CLI typo is a one-line fix instead of a stack trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import ScenarioSpec
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add ``spec`` to the registry (duplicate names are a bug)."""
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} is already registered"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered scenarios: "
+            f"{', '.join(names())}"
+        ) from None
+
+
+def names() -> List[str]:
+    """Registered scenario names, in registration order."""
+    return list(_REGISTRY)
+
+
+def all_specs() -> List[ScenarioSpec]:
+    """Every registered spec, in registration order."""
+    return list(_REGISTRY.values())

@@ -165,7 +165,20 @@ class Telemetry:
         sim.perf.tracer = self.tracer
         if self._energy0 is None:
             self._energy0 = float(sim.particles.total_energy())
+        if sim.config.scenario is not None:
+            # Constant-1 info gauge: joins the scenario id onto every
+            # other series at query time (the Prometheus info idiom).
+            self.registry.gauge(
+                "repro_scenario_info",
+                help="scenario the run was built from (info label)",
+                labels={"scenario": sim.config.scenario},
+            ).set(1.0)
         if self.stream is not None and not self.stream.events:
+            extra = (
+                {"scenario": sim.config.scenario}
+                if sim.config.scenario is not None
+                else {}
+            )
             self.stream.emit(
                 "run_start",
                 step=sim.step_count,
@@ -174,6 +187,7 @@ class Telemetry:
                 seed=sim.config.seed
                 if isinstance(sim.config.seed, int)
                 else None,
+                **extra,
             )
         return self
 

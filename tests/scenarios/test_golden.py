@@ -1,0 +1,20 @@
+"""The validation matrix, runnable locally: every registered scenario
+passes its golden / closed-form acceptance contract.
+
+These are the tests the CI ``scenarios`` job runs per matrix entry via
+``repro run <name> --validate``; here they are grouped for one-command
+local runs (``pytest tests/scenarios -m scenarios``).  Marked slow so
+the fast CI job stays fast.
+"""
+
+import pytest
+
+from repro.scenarios import all_specs, validate_scenario
+
+pytestmark = [pytest.mark.scenarios, pytest.mark.slow]
+
+
+@pytest.mark.parametrize("spec", all_specs(), ids=lambda s: s.name)
+def test_scenario_passes_its_contract(spec):
+    report = validate_scenario(spec)
+    assert report.ok, "\n" + report.to_text()

@@ -73,3 +73,56 @@ class TestCLI:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["fly"])
+
+
+class TestRunSubcommand:
+    def test_list_scenarios(self, capsys):
+        assert main(["run", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("wedge", "flat_plate", "cylinder", "channel",
+                     "impulsive_start", "wedge3d"):
+            assert name in out
+
+    def test_no_scenario_prints_usage(self, capsys):
+        assert main(["run"]) == 2
+        assert "repro run" in capsys.readouterr().err
+
+    def test_unknown_scenario_lists_registered(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError) as exc:
+            main(["run", "nope"])
+        assert "cylinder" in str(exc.value)
+
+    def test_smoke_run_cylinder(self, capsys):
+        assert main(["run", "cylinder", "--steps", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "peak compression" in out
+
+    def test_smoke_run_3d(self, capsys):
+        assert main(["run", "wedge3d", "--steps", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "serial 3-D driver" in out
+
+    def test_3d_rejects_infrastructure_flags(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="supervised"):
+            main(["run", "wedge3d", "--steps", "5", "--supervised"])
+
+    def test_run_wedge_output_matches_wedge_alias(self, capsys):
+        """The alias contract: 'wedge' and 'run wedge' with the same
+        parameters produce identical reports (same RNG stream, same
+        field, same metrology)."""
+        flags = [
+            "--nx", "49", "--ny", "32", "--density", "8",
+            "--transient", "60", "--average", "80", "--seed", "5",
+        ]
+        assert main(["wedge"] + flags) == 0
+        legacy = capsys.readouterr().out
+        assert main(["run", "wedge"] + flags) == 0
+        registry = capsys.readouterr().out
+        strip = lambda text: [  # noqa: E731
+            ln for ln in text.splitlines() if "steps in" not in ln
+        ]
+        assert strip(legacy) == strip(registry)
