@@ -1,0 +1,199 @@
+"""SERVICE -- orchestration overhead over a bare supervised run.
+
+Times the same 400-step wedge job two ways:
+
+* **bare**: a :class:`repro.resilience.supervisor.SupervisedRun`
+  stepped in-process at the service's checkpoint cadence -- the floor
+  the orchestrator is judged against;
+* **service**: submitted to a one-worker
+  :class:`repro.service.Orchestrator` and polled to ``DONE`` -- the
+  same supervised run plus dispatch, fork, heartbeats, journaling and
+  reaping.
+
+The figure of merit is ``overhead_fraction``, the service's
+submission-to-completion slowdown over the bare run; the service
+milestone requires < 5%.  The second number is
+``cached_resubmit_seconds``: a duplicate submission of the completed
+(digest, seed) pair must come back from the result cache in
+milliseconds, without stepping the engine.
+
+Standalone: ``PYTHONPATH=src python benchmarks/bench_service.py``
+writes ``BENCH_service.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.resilience import SupervisedRun
+from repro.scenarios import get
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+STEPS = 400
+CHUNK = 10  # heartbeat/checkpoint cadence, both modes
+
+#: The CI smoke job's shape: the paper geometry at reduced density.
+OVERRIDES = {
+    "nx": 98, "ny": 64, "density": 12.0,
+    "transient": 0, "average": STEPS,
+}
+SEED = 2026
+
+
+def bare_seconds(steps: int) -> float:
+    spec = get("wedge")
+    overrides = {k: v for k, v in OVERRIDES.items()
+                 if k not in ("transient", "average")}
+    overrides["seed"] = SEED
+    sim = spec.build_simulation(overrides)
+    with tempfile.TemporaryDirectory(prefix="bench_service_bare_") as d:
+        run = SupervisedRun(
+            sim, d, checkpoint_every=CHUNK, audit_every=0,
+            backoff_base=0.0,
+        )
+        t0 = time.perf_counter()
+        with run:
+            run.run_schedule([{"steps": steps, "sample": True}])
+            run.sim.gather()
+        return time.perf_counter() - t0
+
+
+#: Runs in a fresh interpreter: the orchestrator must fork from a lean
+#: server-like parent (as `repro serve` does), not from a bench process
+#: whose heap is littered with earlier in-process runs -- fork-time
+#: copy-on-write of a fat parent heap would bill the bench, not the
+#: service.  Timing starts after imports.
+_SERVICE_SCRIPT = """
+import json, sys, time
+from repro.service import DONE, Orchestrator, OrchestratorConfig
+
+steps, data_dir = int(sys.argv[1]), sys.argv[2]
+overrides = json.loads(sys.argv[3])
+overrides["average"] = steps
+orch = Orchestrator(
+    data_dir,
+    OrchestratorConfig(
+        workers=1,
+        heartbeat_every={chunk},
+        # Dispatch and reap are event-driven; the tick only paces the
+        # watchdog, so a coarse interval keeps the scheduler thread
+        # off the worker's core.
+        poll_interval=0.25,
+        audit_every=0,
+    ),
+)
+t0 = time.perf_counter()
+out = orch.submit(scenario="wedge", seed={seed}, overrides=overrides)
+while True:
+    status = orch.status(out["job_id"])
+    if status["state"] == DONE:
+        break
+    if status["terminal"]:
+        raise SystemExit("job ended {{}}".format(status["state"]))
+    time.sleep(0.02)
+elapsed = time.perf_counter() - t0
+
+t1 = time.perf_counter()
+again = orch.submit(scenario="wedge", seed={seed}, overrides=overrides)
+cached = time.perf_counter() - t1
+assert again["cached"] is True, "resubmission missed the cache"
+orch.shutdown()
+print(json.dumps({{"elapsed": elapsed, "cached": cached}}))
+"""
+
+
+def service_seconds(steps: int) -> tuple:
+    with tempfile.TemporaryDirectory(prefix="bench_service_svc_") as d:
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                _SERVICE_SCRIPT.format(chunk=CHUNK, seed=SEED),
+                str(steps),
+                d,
+                json.dumps(OVERRIDES),
+            ],
+            capture_output=True,
+            text=True,
+        )
+    if proc.returncode != 0:
+        raise RuntimeError(f"service run failed:\n{proc.stderr}")
+    out = json.loads(proc.stdout.splitlines()[-1])
+    return out["elapsed"], out["cached"]
+
+
+def run_benchmark(steps: int = STEPS, repeats: int = 3) -> dict:
+    # Warm both paths once (imports, allocator) before timing, then
+    # alternate bare/service pairs and keep each mode's best: the true
+    # cost is the fastest observed run, everything above it is CPU
+    # steal on the shared bench host.
+    bare_warm = bare_seconds(10)
+    bares, services, cached_hits = [], [], []
+    for _ in range(repeats):
+        bares.append(bare_seconds(steps))
+        svc, hit = service_seconds(steps)
+        services.append(svc)
+        cached_hits.append(hit)
+    bare, service, cached = min(bares), min(services), min(cached_hits)
+    overhead = service / bare - 1.0
+    return {
+        "bench": "service",
+        "steps": steps,
+        "repeats": repeats,
+        "overhead_fraction": overhead,
+        "target_overhead_fraction": 0.05,
+        "cached_resubmit_seconds": cached,
+        "note": (
+            "overhead_fraction is the submission-to-completion slowdown "
+            "of a one-worker orchestrator over a bare SupervisedRun of "
+            f"the same {steps}-step wedge job at checkpoint cadence "
+            f"{CHUNK}, best of {repeats} alternating pairs (the "
+            "1-core bench host sees double-digit CPU-steal noise); "
+            "the service milestone requires < 5%.  400 steps is the "
+            "scale of a real job (the paper schedule is 350+350).  "
+            "Dispatch and reap are event-driven (wake pipe + process "
+            "sentinels), leaving ~0.2 s of fixed per-job cost (fork, "
+            "result write, client poll granularity) that this length "
+            "amortizes; the 50-step CI smoke job (~1 s) drowns in "
+            "host noise.  "
+            "cached_resubmit_seconds is a duplicate submission served "
+            "from the result cache without stepping the engine."
+        ),
+        "runs": [
+            {"mode": "bare", "seconds": bare, "samples": bares,
+             "warmup_seconds": bare_warm},
+            {"mode": "service", "seconds": service,
+             "samples": services,
+             "cached_resubmit_seconds": cached},
+        ],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--steps", type=int, default=STEPS)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    result = run_benchmark(steps=args.steps, repeats=args.repeats)
+    out = REPO_ROOT / "BENCH_service.json"
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(
+        f"bare      : {result['runs'][0]['seconds']:.2f} s\n"
+        f"service   : {result['runs'][1]['seconds']:.2f} s\n"
+        f"overhead  : {100 * result['overhead_fraction']:+.1f}% "
+        f"(target < {100 * result['target_overhead_fraction']:.0f}%)\n"
+        f"cached hit: {1000 * result['cached_resubmit_seconds']:.1f} ms"
+    )
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,8 @@ Subcommands:
 * ``timing`` -- the figure-7 curve from the calibrated CM-2 timing
   model (optionally measured with the emulation engine).
 * ``info`` -- version, configuration defaults and the paper constants.
+* ``serve`` -- run the job orchestration service (``docs/service.md``);
+  ``submit`` / ``status`` / ``cancel`` / ``fetch`` talk to it over HTTP.
 
 Invoke as ``python -m repro <subcommand> ...``.
 """
@@ -164,6 +166,85 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="also run the emulation engine (scaled machine)")
 
     sub.add_parser("info", help="package and paper constants")
+
+    s = sub.add_parser(
+        "serve",
+        help="run the job orchestration service (HTTP API)",
+        description=(
+            "Serve the crash-safe job orchestrator on 127.0.0.1.  Jobs "
+            "are submitted over HTTP (repro submit), executed by worker "
+            "processes under the fault-tolerant supervisor, and "
+            "journaled so a restarted service resumes in-flight work.  "
+            "SIGTERM drains running jobs to a checkpoint before exit.  "
+            "See docs/service.md."
+        ),
+    )
+    s.add_argument("--data-dir", type=str, default="runs/service",
+                   dest="data_dir",
+                   help="service journal + job directories "
+                        "(default runs/service)")
+    s.add_argument("--port", type=int, default=8787,
+                   help="HTTP port (0 = ephemeral; printed on start)")
+    s.add_argument("--workers", type=int, default=2,
+                   help="concurrent worker processes")
+    s.add_argument("--queue-limit", type=int, default=16,
+                   dest="queue_limit",
+                   help="queued jobs before submissions get 429")
+    s.add_argument("--heartbeat-every", type=int, default=10,
+                   dest="heartbeat_every",
+                   help="worker chunk size in steps (heartbeat cadence)")
+    s.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                   dest="heartbeat_timeout",
+                   help="seconds of worker silence before the watchdog "
+                        "kills it")
+    s.add_argument("--deadline", type=float, default=None,
+                   help="default per-job wall-clock deadline, seconds")
+    s.add_argument("--max-job-retries", type=int, default=2,
+                   dest="max_job_retries",
+                   help="job-level retries before FAILED")
+
+    def _add_client_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", type=str,
+                       default="http://127.0.0.1:8787",
+                       help="service endpoint")
+
+    sj = sub.add_parser("submit", help="submit a job to the service")
+    _add_client_flags(sj)
+    sj.add_argument("scenario", help="registered scenario name")
+    sj.add_argument("--seed", type=int, default=None)
+    sj.add_argument("--nx", type=int, default=None)
+    sj.add_argument("--ny", type=int, default=None)
+    sj.add_argument("--mach", type=float, default=None)
+    sj.add_argument("--angle", type=float, default=None)
+    sj.add_argument("--density", type=float, default=None)
+    sj.add_argument("--lambda-mfp", type=float, default=None,
+                    dest="lambda_mfp")
+    sj.add_argument("--transient", type=int, default=None)
+    sj.add_argument("--average", type=int, default=None)
+    sj.add_argument("--steps", type=int, default=None,
+                    help="smoke-run: 0 transient + N averaging steps")
+    sj.add_argument("--deadline", type=float, default=None,
+                    help="per-job wall-clock deadline, seconds")
+    sj.add_argument("--wait", action="store_true",
+                    help="poll until the job reaches a terminal state; "
+                         "exit 0 only on DONE")
+    sj.add_argument("--timeout", type=float, default=600.0,
+                    help="--wait limit, seconds")
+
+    st_ = sub.add_parser("status", help="show job status / list jobs")
+    _add_client_flags(st_)
+    st_.add_argument("job_id", nargs="?", default=None,
+                     help="job id (omit to list all jobs)")
+
+    ca = sub.add_parser("cancel", help="cancel a queued or running job")
+    _add_client_flags(ca)
+    ca.add_argument("job_id")
+
+    fe = sub.add_parser("fetch", help="fetch a DONE job's result")
+    _add_client_flags(fe)
+    fe.add_argument("job_id")
+    fe.add_argument("--out", type=str, default=None,
+                    help="write the result JSON here instead of stdout")
     return parser
 
 
@@ -581,6 +662,129 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the orchestration service until SIGTERM/SIGINT, then drain."""
+    import signal
+    import threading
+
+    from repro.service import Orchestrator, OrchestratorConfig, ServiceAPI
+
+    config = OrchestratorConfig(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        heartbeat_every=args.heartbeat_every,
+        heartbeat_timeout=args.heartbeat_timeout,
+        default_deadline=args.deadline,
+        max_job_retries=args.max_job_retries,
+    )
+    orch = Orchestrator(args.data_dir, config)
+    api = ServiceAPI(orch, port=args.port)
+    stop = threading.Event()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(sig, lambda *_: stop.set())
+    print(
+        f"service listening on http://127.0.0.1:{api.port} "
+        f"(data dir {args.data_dir}, {args.workers} workers)",
+        flush=True,
+    )
+    stop.wait()
+    print("draining...", flush=True)
+    api.close()
+    summary = orch.shutdown(drain=True)
+    print(
+        f"stopped: {summary.get('completed', 0)} completed, "
+        f"{summary.get('drained', 0)} drained, "
+        f"{summary.get('killed', 0)} killed",
+        flush=True,
+    )
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    overrides = {
+        k: v
+        for k, v in (
+            ("nx", args.nx),
+            ("ny", args.ny),
+            ("mach", args.mach),
+            ("angle", args.angle),
+            ("density", args.density),
+            ("lambda_mfp", args.lambda_mfp),
+            ("transient", args.transient),
+            ("average", args.average),
+        )
+        if v is not None
+    }
+    if args.steps is not None:
+        overrides["transient"] = 0
+        overrides["average"] = args.steps
+    out = client.submit(
+        scenario=args.scenario,
+        seed=args.seed,
+        overrides=overrides,
+        deadline=args.deadline,
+    )
+    cached = " (cached)" if out.get("cached") else ""
+    print(f"{out['job_id']} {out['state']}{cached}")
+    if not args.wait or out.get("cached"):
+        return 0
+    final = client.wait(out["job_id"], timeout=args.timeout)
+    print(f"{final['job_id']} {final['state']} attempt {final['attempt']}")
+    return 0 if final["state"] == "DONE" else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    if args.job_id is None:
+        jobs = client.list_jobs()
+        if not jobs:
+            print("no jobs")
+            return 0
+        for j in sorted(jobs, key=lambda j: j["submitted_time"]):
+            print(
+                f"{j['job_id']:<36s} {j['state']:<9s} "
+                f"attempt {j['attempt']} {j['scenario']} seed {j['seed']}"
+            )
+        return 0
+    status = client.status(args.job_id)
+    for key in (
+        "job_id", "scenario", "seed", "state", "attempt",
+        "submitted_time", "started_time", "finished_time", "error",
+    ):
+        if status.get(key) is not None:
+            print(f"{key:<15s}: {status[key]}")
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    status = _service_client(args).cancel(args.job_id)
+    extra = " (draining)" if status.get("cancelling") else ""
+    print(f"{status['job_id']} {status['state']}{extra}")
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    import json as _json
+
+    result = _service_client(args).result(args.job_id)
+    blob = _json.dumps(result, indent=2)
+    if args.out:
+        import pathlib as _pathlib
+
+        _pathlib.Path(args.out).write_text(blob + "\n", encoding="utf-8")
+        print(f"result written to {args.out}")
+    else:
+        print(blob)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -590,6 +794,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "heatbath": _cmd_heatbath,
         "timing": _cmd_timing,
         "info": _cmd_info,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "cancel": _cmd_cancel,
+        "fetch": _cmd_fetch,
     }
     return handlers[args.command](args)
 

@@ -114,3 +114,52 @@ class RecoveryExhaustedError(ResilienceError):
     """Supervised recovery gave up: retry budget spent or no checkpoint
     restorable.  Carries the retry count and the last underlying fault
     in ``context``."""
+
+
+class ServiceError(ResilienceError):
+    """Base class of the simulation-as-a-service failure taxonomy.
+
+    The orchestrator, the job store and the HTTP layer raise
+    subclasses of this so the API can map each failure onto a stable
+    status code (429 backpressure, 404 unknown job, 409 bad state, ...)
+    without parsing message strings.
+    """
+
+
+class BackpressureError(ServiceError):
+    """The bounded submission queue is full.
+
+    Submitting must fail loudly (HTTP 429) instead of accepting
+    unbounded work; ``context`` carries the queue depth and limit so
+    clients can implement their own backoff.
+    """
+
+
+class JobNotFoundError(ServiceError):
+    """No job with the requested id exists in the store."""
+
+
+class JobStateError(ServiceError):
+    """An invalid job state transition was attempted.
+
+    Raised in particular for any transition *out of* a terminal state
+    -- the property that makes "every job reaches exactly one terminal
+    state" enforceable rather than aspirational.
+    """
+
+
+class ServiceJournalError(ServiceError):
+    """The service journal is unreadable beyond a torn tail.
+
+    A crash can tear the *final* record of the append-only journal
+    (and replay tolerates exactly that); garbage anywhere earlier
+    means real corruption and must not be silently skipped.
+    """
+
+
+class JournalVersionError(ServiceJournalError):
+    """The journal was recorded by a newer schema version.
+
+    Replaying records this build does not understand could silently
+    mis-reconstruct the job table, so the store refuses instead.
+    """

@@ -35,8 +35,8 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
-#: Fault kinds a plan can arm.
-FAULT_KINDS = (
+#: Fault kinds a plan can arm (step-loop injection points).
+STEP_FAULT_KINDS = (
     "crash",      # worker process dies (os._exit); inline: raises
     "exception",  # worker raises mid-phase (piped traceback path)
     "hang",       # worker sleeps past the barrier timeout
@@ -44,6 +44,22 @@ FAULT_KINDS = (
     "corrupt",    # shipped migration payload overwritten with garbage
     "truncate",   # checkpoint archive truncated after writing
 )
+
+#: Service-level fault kinds consumed by :mod:`repro.service`.  Their
+#: ``step`` field indexes a different clock per kind: job-worker faults
+#: (``worker_kill``, ``worker_stall``) fire at the first heartbeat
+#: chunk boundary at or after simulation step ``step``; journal faults
+#: (``journal_tear``, ``orchestrator_kill``) fire at the Nth record
+#: appended to the service journal.
+SERVICE_FAULT_KINDS = (
+    "worker_kill",        # job worker process dies hard (os._exit)
+    "worker_stall",       # worker stops heartbeating (watchdog prey)
+    "journal_tear",       # service journal torn mid-record (torn tail)
+    "orchestrator_kill",  # orchestrator dies between journal records
+)
+
+#: Every armable fault kind.
+FAULT_KINDS = STEP_FAULT_KINDS + SERVICE_FAULT_KINDS
 
 #: Wildcard shard: the fault fires on whichever shard matches first.
 ANY_SHARD = -1
@@ -77,6 +93,27 @@ class FaultSpec:
             )
         if self.step < 0:
             raise ValueError("fault step must be non-negative")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (service submissions ship fault
+        plans to job worker processes as plain dicts)."""
+        return {
+            "kind": self.kind,
+            "step": self.step,
+            "shard": self.shard,
+            "seconds": self.seconds,
+            "capacity": self.capacity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(
+            kind=data["kind"],
+            step=int(data["step"]),
+            shard=int(data.get("shard", ANY_SHARD)),
+            seconds=float(data.get("seconds", 3600.0)),
+            capacity=int(data.get("capacity", 0)),
+        )
 
 
 class FaultPlan:

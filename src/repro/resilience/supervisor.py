@@ -37,6 +37,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
+import random
 import time
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
@@ -130,10 +131,14 @@ class SupervisedRun:
     max_retries:
         Recoveries allowed per run before
         :class:`~repro.errors.RecoveryExhaustedError`.
-    backoff_base, backoff_factor:
+    backoff_base, backoff_factor, backoff_jitter:
         Exponential backoff before respawning: retry ``r`` sleeps
-        ``backoff_base * backoff_factor**(r - 1)`` seconds.  Tests use
-        ``backoff_base=0``.
+        ``backoff_base * backoff_factor**(r - 1)`` seconds, scaled by a
+        uniform jitter factor in ``[1 - backoff_jitter, 1 + backoff_jitter]``
+        so concurrent runs that fail together do not retry in lockstep
+        (the service layer runs many supervised jobs at once).  Tests
+        use ``backoff_base=0``, which always sleeps exactly zero
+        regardless of jitter.
     degrade_after:
         Parallel faults tolerated before the run degrades sharded ->
         serial.  Degraded continuation is statistically equivalent, not
@@ -164,6 +169,7 @@ class SupervisedRun:
         max_retries: int = 3,
         backoff_base: float = 0.5,
         backoff_factor: float = 2.0,
+        backoff_jitter: float = 0.5,
         degrade_after: int = 2,
         keep_checkpoints: int = 3,
         compress_checkpoints: bool = False,
@@ -177,6 +183,8 @@ class SupervisedRun:
             raise ConfigurationError("max_retries must be non-negative")
         if keep_checkpoints < 1:
             raise ConfigurationError("keep_checkpoints must be >= 1")
+        if not 0.0 <= float(backoff_jitter) <= 1.0:
+            raise ConfigurationError("backoff_jitter must be in [0, 1]")
         self.sim = sim
         self.run_dir = pathlib.Path(run_dir)
         self.run_dir.mkdir(parents=True, exist_ok=True)
@@ -185,6 +193,7 @@ class SupervisedRun:
         self.max_retries = int(max_retries)
         self.backoff_base = float(backoff_base)
         self.backoff_factor = float(backoff_factor)
+        self.backoff_jitter = float(backoff_jitter)
         self.degrade_after = int(degrade_after)
         self.keep_checkpoints = int(keep_checkpoints)
         self.compress_checkpoints = bool(compress_checkpoints)
@@ -396,9 +405,18 @@ class SupervisedRun:
             if max_steps is not None and done >= max_steps:
                 break
         if self.checkpoint_every:
-            # Always leave a checkpoint at the stop point, cadence or
-            # not, so a resumed process starts exactly here.
-            self._checkpoint()
+            # Always leave a checkpoint at the stop point, so a resumed
+            # process starts exactly here.  When the stop lands on the
+            # cadence, _step already wrote this exact file -- skipping
+            # the duplicate save keeps chunked drivers (the service
+            # worker runs one heartbeat-sized call per chunk) from
+            # paying for every checkpoint twice.
+            path = self.run_dir / _CKPT_FMT.format(step=self.sim.step_count)
+            if (
+                self.sim.step_count % self.checkpoint_every != 0
+                or not path.exists()
+            ):
+                self._checkpoint()
         return diag
 
     def _audit(self) -> None:
@@ -422,6 +440,19 @@ class SupervisedRun:
             self.telemetry.record_audit(step, ok=True, **(report or {}))
 
     # -- recovery -------------------------------------------------------
+
+    def _backoff_seconds(self, retry: int) -> float:
+        """Jittered exponential backoff for 1-based retry ``retry``.
+
+        The jitter draws from the process RNG (``random``), never from
+        the simulation's stream -- recovery timing must not perturb the
+        physics.  ``backoff_base=0`` (the test path) returns exactly
+        0.0 whatever the jitter setting.
+        """
+        backoff = self.backoff_base * self.backoff_factor ** (retry - 1)
+        if backoff > 0 and self.backoff_jitter:
+            backoff *= 1.0 + self.backoff_jitter * (2.0 * random.random() - 1.0)
+        return backoff
 
     def _recover(self, exc: Exception) -> None:
         """Roll back to the newest loadable checkpoint and respawn."""
@@ -463,7 +494,7 @@ class SupervisedRun:
         except Exception:  # pragma: no cover - teardown is best-effort
             pass
 
-        backoff = self.backoff_base * self.backoff_factor ** (self.retries - 1)
+        backoff = self._backoff_seconds(self.retries)
         if backoff > 0:
             time.sleep(backoff)
 

@@ -39,6 +39,8 @@ Sections (all dicts of plain scalars/lists):
 
 from __future__ import annotations
 
+import hashlib
+import json
 import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
@@ -309,6 +311,25 @@ class ScenarioSpec:
             out["tags"] = list(self.tags)
         return out
 
+    def canonical_json(self) -> str:
+        """Canonical serialization: :meth:`to_dict` as minified JSON
+        with sorted keys, so two equal specs -- however their dicts
+        were ordered -- serialize byte-identically."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def digest(self) -> str:
+        """Stable content digest (sha256 hex of :meth:`canonical_json`).
+
+        Equal specs (including :meth:`from_dict`/:meth:`to_dict`
+        round-trips) share a digest; any semantic change -- a grid
+        size, a freestream number, a validation check -- changes it.
+        The service layer keys its result cache on it, and snapshots or
+        telemetry can stamp runs with it.
+        """
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
     def to_toml(self) -> str:
         """TOML text parsing back through :meth:`from_toml` to an
         equal spec (the committed ``examples/scenarios/*.toml`` files
@@ -497,8 +518,6 @@ def _toml_value(value) -> str:
     JSON string quoting is a valid TOML basic string for the ASCII
     content specs carry; ints/floats round-trip through ``repr``.
     """
-    import json
-
     if isinstance(value, bool):
         return "true" if value else "false"
     if isinstance(value, (int, float)):

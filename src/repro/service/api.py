@@ -1,0 +1,175 @@
+"""The service HTTP API: stdlib ``http.server`` over the orchestrator.
+
+Same no-dependency pattern as the telemetry
+:class:`~repro.telemetry.exporters.MetricsServer`: a
+``ThreadingHTTPServer`` bound to ``127.0.0.1`` (``port=0`` for an
+ephemeral port in tests), handler threads calling into the
+(lock-protected) orchestrator.  Routes:
+
+==============================  =========================================
+``POST /jobs``                  submit; 202 accepted, 200 cached,
+                                429 backpressure, 400 bad config,
+                                503 shutting down
+``GET /jobs``                   list all jobs
+``GET /jobs/<id>``              one job's status (404 unknown)
+``POST /jobs/<id>/cancel``      cancel (409 already terminal)
+``GET /jobs/<id>/result``       the DONE artifact (409 not done)
+``GET /metrics``                Prometheus text exposition
+``GET /healthz``                liveness + queue depth
+==============================  =========================================
+
+Every error response is JSON ``{"error": <type>, "detail": ...,
+"context": {...}}`` so clients get the same typed taxonomy the Python
+API raises (:class:`~repro.errors.BackpressureError` -> 429, etc.).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import (
+    BackpressureError,
+    ConfigurationError,
+    JobNotFoundError,
+    JobStateError,
+    ReproError,
+    ServiceError,
+)
+from repro.service.orchestrator import Orchestrator
+
+#: Typed error -> HTTP status.  Order matters: subclasses first.
+_STATUS = (
+    (BackpressureError, 429),
+    (JobNotFoundError, 404),
+    (JobStateError, 409),
+    (ConfigurationError, 400),
+    (ServiceError, 503),
+)
+
+
+def _status_for(exc: ReproError) -> int:
+    for cls, status in _STATUS:
+        if isinstance(exc, cls):
+            return status
+    return 500
+
+
+class ServiceAPI:
+    """Background HTTP front end for an :class:`Orchestrator`."""
+
+    def __init__(self, orchestrator: Orchestrator, port: int = 0) -> None:
+        self.orchestrator = orchestrator
+        api = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+                api._dispatch(self, "GET")
+
+            def do_POST(self) -> None:  # noqa: N802 (stdlib API)
+                api._dispatch(self, "POST")
+
+            def log_message(self, *args) -> None:
+                """Silence per-request stderr logging."""
+
+        self._httpd = ThreadingHTTPServer(("127.0.0.1", port), Handler)
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-service-api",
+            daemon=True,
+        )
+        self._thread.start()
+        self._closed = False
+
+    # -- request handling ------------------------------------------------
+
+    def _dispatch(self, handler: BaseHTTPRequestHandler, method: str):
+        try:
+            status, body = self._route(handler, method)
+        except ReproError as exc:
+            status = _status_for(exc)
+            body = {
+                "error": type(exc).__name__,
+                "detail": str(exc),
+                "context": getattr(exc, "context", {}),
+            }
+        except Exception as exc:  # noqa: BLE001 - fail as a response
+            status = 500
+            body = {"error": type(exc).__name__, "detail": str(exc)}
+        handler.send_response(status)
+        if isinstance(body, dict) and "_raw" in body:
+            ctype = body.get("_content_type", "text/plain; charset=utf-8")
+            blob = body["_raw"].encode()
+        else:
+            ctype = "application/json"
+            blob = json.dumps(body).encode()
+        handler.send_header("Content-Type", ctype)
+        handler.send_header("Content-Length", str(len(blob)))
+        handler.end_headers()
+        handler.wfile.write(blob)
+
+    def _route(self, handler, method: str):
+        path = handler.path.rstrip("/") or "/"
+        orch = self.orchestrator
+        if method == "GET":
+            if path == "/healthz":
+                health = orch.health()
+                return (200 if health["ok"] else 503), health
+            if path == "/metrics":
+                return 200, {
+                    "_content_type": (
+                        "text/plain; version=0.0.4; charset=utf-8"
+                    ),
+                    "_raw": orch.registry.to_prometheus(),
+                }
+            if path == "/jobs":
+                return 200, {"jobs": orch.list_jobs()}
+            if path.startswith("/jobs/") and path.endswith("/result"):
+                job_id = path[len("/jobs/"):-len("/result")]
+                return 200, orch.result(job_id)
+            if path.startswith("/jobs/"):
+                return 200, orch.status(path[len("/jobs/"):])
+        elif method == "POST":
+            if path == "/jobs":
+                req = self._read_json(handler)
+                out = orch.submit(
+                    scenario=req.get("scenario"),
+                    spec=req.get("spec"),
+                    seed=req.get("seed"),
+                    overrides=req.get("overrides"),
+                    deadline=req.get("deadline"),
+                    max_retries=req.get("max_retries"),
+                    faults=req.get("faults"),
+                )
+                return (200 if out["cached"] else 202), out
+            if path.startswith("/jobs/") and path.endswith("/cancel"):
+                job_id = path[len("/jobs/"):-len("/cancel")]
+                return 200, orch.cancel(job_id)
+        raise JobNotFoundError("no such route", path=path, method=method)
+
+    @staticmethod
+    def _read_json(handler) -> dict:
+        length = int(handler.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        raw = handler.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"request body is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(body, dict):
+            raise ConfigurationError("request body must be a JSON object")
+        return body
+
+    def close(self) -> None:
+        """Shut the HTTP server down and join its thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)

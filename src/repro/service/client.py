@@ -1,0 +1,124 @@
+"""A tiny urllib client for the service API (used by CLI and tests).
+
+Maps HTTP error statuses back onto the same typed exceptions the
+Python :class:`~repro.service.orchestrator.Orchestrator` raises, so
+``repro submit`` over the wire and ``orchestrator.submit`` in-process
+fail identically.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from repro.errors import (
+    BackpressureError,
+    ConfigurationError,
+    JobNotFoundError,
+    JobStateError,
+    ServiceError,
+)
+from repro.service import store as st
+
+_ERRORS = {
+    429: BackpressureError,
+    404: JobNotFoundError,
+    409: JobStateError,
+    400: ConfigurationError,
+    503: ServiceError,
+}
+
+
+class ServiceClient:
+    """HTTP client for one service endpoint (``http://host:port``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ):
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw)
+            except (json.JSONDecodeError, ValueError):
+                payload = {"detail": raw.decode(errors="replace")}
+            cls = _ERRORS.get(exc.code, ServiceError)
+            raise cls(
+                payload.get("detail", f"HTTP {exc.code}"),
+                **{
+                    str(k): v
+                    for k, v in (payload.get("context") or {}).items()
+                },
+            ) from None
+
+    # -- endpoints -------------------------------------------------------
+
+    def submit(self, **kwargs) -> dict:
+        """POST /jobs; kwargs mirror :meth:`Orchestrator.submit`."""
+        return self._request("POST", "/jobs", body=kwargs)
+
+    def status(self, job_id: str) -> dict:
+        """GET /jobs/<id>: the job's current status dict."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def list_jobs(self) -> list:
+        """GET /jobs: status dicts for every known job."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        """POST /jobs/<id>/cancel: stop a queued or running job."""
+        return self._request("POST", f"/jobs/{job_id}/cancel", body={})
+
+    def result(self, job_id: str) -> dict:
+        """GET /jobs/<id>/result: the DONE job's result artifact."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def health(self) -> dict:
+        """GET /healthz: liveness plus queue/worker gauges."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """GET /metrics: the Prometheus text exposition, verbatim."""
+        req = urllib.request.Request(self.base_url + "/metrics")
+        with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            return resp.read().decode()
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll: float = 0.2,
+    ) -> dict:
+        """Poll until the job reaches a terminal state (or timeout)."""
+        deadline = time.time() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in st.TERMINAL_STATES:
+                return status
+            if time.time() > deadline:
+                raise ServiceError(
+                    "timed out waiting for job",
+                    job_id=job_id,
+                    state=status["state"],
+                    timeout=timeout,
+                )
+            time.sleep(poll)

@@ -232,6 +232,29 @@ def render_diff(a: dict, b: dict) -> str:
     )
 
 
+def render_service(summary: dict) -> str:
+    """Human-readable table of a service journal summary."""
+    by_state = summary.get("by_state") or {}
+    states = (
+        ", ".join(f"{s}={n}" for s, n in sorted(by_state.items()))
+        or "-"
+    )
+    rows = [
+        ("jobs", _fmt(summary["jobs"])),
+        ("by state", states),
+        ("submissions", _fmt(summary["submissions"])),
+        ("retries", _fmt(summary["retries"])),
+        ("cache hits", _fmt(summary["cache_hits"])),
+        ("backpressure rejections", _fmt(summary["backpressure"])),
+        ("drained", _fmt(summary["drains"])),
+        ("requeues", _fmt(summary["requeues"])),
+        ("torn journal tail", str(summary["torn_tail"]).lower()),
+    ]
+    width = max(len(label) for label, _ in rows)
+    body = "\n".join(f"{label:<{width}} : {v}" for label, v in rows)
+    return f"service journal\n{body}"
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point: summarize or diff run telemetry directories."""
     parser = argparse.ArgumentParser(
@@ -248,11 +271,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from repro.service.store import summarize_journal
+
+    service = summarize_journal(args.run_dir)
     try:
         summary = summarize(args.run_dir)
     except FileNotFoundError as exc:
+        if service is not None:
+            # A service data directory: the journal is the summary.
+            if args.json:
+                print(json.dumps({"service": service}, indent=2))
+            else:
+                print(render_service(service))
+            return 0
         print(str(exc), file=sys.stderr)
         return 2
+    if service is not None:
+        summary["service"] = service
     try:
         if args.diff:
             other = summarize(args.diff)
@@ -264,6 +299,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(json.dumps(summary, indent=2))
         else:
             print(render(summary))
+            if service is not None:
+                print()
+                print(render_service(service))
     except BrokenPipeError:  # piped into head/less and cut short
         sys.stderr.close()
         return 0

@@ -204,3 +204,42 @@ class TestBuilding:
     def test_build_config_tags_scenario_name(self):
         config = get("cylinder").build_config()
         assert config.scenario == "cylinder"
+
+
+class TestDigest:
+    """ScenarioSpec.digest(): the service result-cache key material."""
+
+    def test_digest_is_sha256_hex(self):
+        digest = ScenarioSpec.from_dict(minimal_dict()).digest()
+        assert len(digest) == 64
+        int(digest, 16)  # hex or raise
+
+    def test_digest_survives_dict_round_trip(self):
+        spec = ScenarioSpec.from_dict(minimal_dict())
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again.digest() == spec.digest()
+
+    @pytest.mark.parametrize("spec", all_specs(), ids=lambda s: s.name)
+    def test_registry_digests_survive_toml_round_trip(self, spec, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / f"{spec.name}.toml"
+        path.write_text(spec.to_toml())
+        assert ScenarioSpec.from_toml(path).digest() == spec.digest()
+
+    def test_digest_insensitive_to_dict_ordering(self):
+        d = minimal_dict()
+        scrambled = dict(reversed(list(d.items())))
+        assert (
+            ScenarioSpec.from_dict(d).digest()
+            == ScenarioSpec.from_dict(scrambled).digest()
+        )
+
+    def test_any_physics_change_moves_the_digest(self):
+        base = ScenarioSpec.from_dict(minimal_dict()).digest()
+        bumped = minimal_dict()
+        bumped["freestream"]["mach"] = 4.5
+        assert ScenarioSpec.from_dict(bumped).digest() != base
+
+    def test_distinct_registry_scenarios_have_distinct_digests(self):
+        digests = [s.digest() for s in all_specs()]
+        assert len(set(digests)) == len(digests)

@@ -1,0 +1,149 @@
+"""HTTP API round-trips: routes, status codes, typed error mapping."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.errors import (
+    BackpressureError,
+    ConfigurationError,
+    JobNotFoundError,
+    JobStateError,
+    ServiceError,
+)
+from repro.service import Orchestrator, ServiceAPI, ServiceClient
+from repro.service import store as st
+from tests.service.conftest import fast_config
+
+pytestmark = pytest.mark.service
+
+
+@pytest.fixture
+def service(tmp_path):
+    """(orchestrator, api, client) on an ephemeral localhost port."""
+    orch = Orchestrator(tmp_path / "svc", fast_config())
+    api = ServiceAPI(orch, port=0)
+    client = ServiceClient(f"http://127.0.0.1:{api.port}")
+    yield orch, api, client
+    api.close()
+    if not orch._dead:
+        orch.shutdown()
+
+
+class TestRoutes:
+    def test_healthz(self, service):
+        _, _, client = service
+        health = client.health()
+        assert health["ok"] is True
+        assert health["queue_depth"] == 0
+
+    def test_submit_wait_result_round_trip(
+        self, service, tiny_overrides
+    ):
+        _, _, client = service
+        out = client.submit(
+            scenario="wedge", seed=21, overrides=tiny_overrides
+        )
+        assert out["cached"] is False
+        final = client.wait(out["job_id"], timeout=120)
+        assert final["state"] == st.DONE
+        result = client.result(out["job_id"])
+        assert result["steps"] == tiny_overrides["average"]
+        # Cached resubmission comes back HTTP 200 with cached=True.
+        again = client.submit(
+            scenario="wedge", seed=21, overrides=tiny_overrides
+        )
+        assert again["cached"] is True
+        assert again["job_id"] == out["job_id"]
+        jobs = client.list_jobs()
+        assert [j["job_id"] for j in jobs] == [out["job_id"]]
+
+    def test_metrics_exposition(self, service):
+        _, _, client = service
+        text = client.metrics()
+        assert "# TYPE repro_service_submissions_total counter" in text
+
+    def test_unknown_route_is_404(self, service):
+        _, api, _ = service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{api.port}/teapot"
+            )
+        assert err.value.code == 404
+
+
+class TestErrorMapping:
+    def test_unknown_job_is_404_typed(self, service):
+        _, _, client = service
+        with pytest.raises(JobNotFoundError):
+            client.status("nope")
+        with pytest.raises(JobNotFoundError):
+            client.result("nope")
+
+    def test_bad_overrides_are_400_typed(self, service):
+        _, _, client = service
+        with pytest.raises(ConfigurationError, match="bogus"):
+            client.submit(scenario="wedge", overrides={"bogus": 1})
+
+    def test_malformed_json_body_is_400(self, service):
+        _, api, _ = service
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{api.port}/jobs",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req)
+        assert err.value.code == 400
+        body = json.loads(err.value.read())
+        assert body["error"] == "ConfigurationError"
+
+    def test_backpressure_is_429_typed(self, tmp_path, tiny_overrides):
+        orch = Orchestrator(
+            tmp_path, fast_config(queue_limit=1), start=False
+        )
+        api = ServiceAPI(orch, port=0)
+        client = ServiceClient(f"http://127.0.0.1:{api.port}")
+        try:
+            client.submit(
+                scenario="wedge", seed=1, overrides=tiny_overrides
+            )
+            with pytest.raises(BackpressureError) as err:
+                client.submit(
+                    scenario="wedge", seed=2, overrides=tiny_overrides
+                )
+            assert err.value.context["limit"] == 1
+        finally:
+            api.close()
+            orch.shutdown()
+
+    def test_cancel_terminal_job_is_409_typed(
+        self, tmp_path, tiny_overrides
+    ):
+        orch = Orchestrator(tmp_path, fast_config(), start=False)
+        api = ServiceAPI(orch, port=0)
+        client = ServiceClient(f"http://127.0.0.1:{api.port}")
+        try:
+            out = client.submit(
+                scenario="wedge", seed=1, overrides=tiny_overrides
+            )
+            client.cancel(out["job_id"])
+            with pytest.raises(JobStateError):
+                client.cancel(out["job_id"])
+        finally:
+            api.close()
+            orch.shutdown()
+
+    def test_shut_down_service_is_503_typed(
+        self, service, tiny_overrides
+    ):
+        orch, _, client = service
+        orch.shutdown()
+        with pytest.raises(ServiceError):
+            client.submit(
+                scenario="wedge", seed=1, overrides=tiny_overrides
+            )

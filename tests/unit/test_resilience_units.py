@@ -16,7 +16,12 @@ from repro.errors import (
     WorkerHangError,
 )
 from repro.resilience import FaultPlan, FaultSpec
-from repro.resilience.faults import ANY_SHARD, FAULT_KINDS
+from repro.resilience.faults import (
+    ANY_SHARD,
+    FAULT_KINDS,
+    SERVICE_FAULT_KINDS,
+    STEP_FAULT_KINDS,
+)
 
 pytestmark = pytest.mark.resilience
 
@@ -56,9 +61,27 @@ class TestFaultSpec:
             FaultSpec("crash", step=-1)
 
     def test_kinds_cover_the_documented_set(self):
-        assert set(FAULT_KINDS) == {
+        assert set(STEP_FAULT_KINDS) == {
             "crash", "exception", "hang", "overflow", "corrupt", "truncate",
         }
+        assert set(SERVICE_FAULT_KINDS) == {
+            "worker_kill", "worker_stall", "journal_tear",
+            "orchestrator_kill",
+        }
+        assert set(FAULT_KINDS) == (
+            set(STEP_FAULT_KINDS) | set(SERVICE_FAULT_KINDS)
+        )
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec("worker_kill", step=16, shard=ANY_SHARD)
+        back = FaultSpec.from_dict(spec.to_dict())
+        assert (back.kind, back.step, back.shard) == (
+            spec.kind, spec.step, spec.shard,
+        )
+        stall = FaultSpec.from_dict(
+            {"kind": "worker_stall", "step": 4, "seconds": 2.5}
+        )
+        assert stall.seconds == 2.5
 
 
 class TestFaultPlan:
@@ -108,3 +131,44 @@ class TestFaultPlan:
         plan = FaultPlan([FaultSpec("exception", step=1, shard=0)])
         blob = json.dumps(plan.describe())
         assert "exception" in blob
+
+
+class TestBackoffJitter:
+    """The supervisor's jittered exponential backoff (satellite of the
+    service PR: decorrelates retries without touching the sim RNG)."""
+
+    def _run(self, base, factor=2.0, jitter=0.5):
+        from repro.resilience.supervisor import SupervisedRun
+
+        run = SupervisedRun.__new__(SupervisedRun)
+        run.backoff_base = base
+        run.backoff_factor = factor
+        run.backoff_jitter = jitter
+        return run
+
+    def test_zero_base_stays_exactly_zero(self):
+        # The fast test path: backoff_base=0 must never sleep, jitter
+        # or not.
+        run = self._run(0.0, jitter=0.5)
+        assert all(run._backoff_seconds(r) == 0.0 for r in (1, 2, 5))
+
+    def test_zero_jitter_is_deterministic(self):
+        run = self._run(0.5, factor=2.0, jitter=0.0)
+        assert run._backoff_seconds(1) == 0.5
+        assert run._backoff_seconds(3) == 2.0
+
+    def test_jitter_stays_inside_the_band_and_varies(self):
+        run = self._run(1.0, factor=2.0, jitter=0.5)
+        for retry, nominal in ((1, 1.0), (2, 2.0), (3, 4.0)):
+            samples = [run._backoff_seconds(retry) for _ in range(200)]
+            assert all(
+                0.5 * nominal <= s <= 1.5 * nominal for s in samples
+            )
+            assert max(samples) - min(samples) > 0.1 * nominal
+
+    def test_jitter_out_of_range_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.resilience.supervisor import SupervisedRun
+
+        with pytest.raises(ConfigurationError, match="backoff_jitter"):
+            SupervisedRun(object(), "/nonexistent", backoff_jitter=1.5)
