@@ -17,6 +17,8 @@ Subcommands:
 * ``info`` -- version, configuration defaults and the paper constants.
 * ``serve`` -- run the job orchestration service (``docs/service.md``);
   ``submit`` / ``status`` / ``cancel`` / ``fetch`` talk to it over HTTP.
+* ``watch`` -- live dashboard for one job (streamed step progress,
+  us/particle sparkline, retries) or ``--fleet`` for the whole fleet.
 
 Invoke as ``python -m repro <subcommand> ...``.
 """
@@ -245,6 +247,28 @@ def _build_parser() -> argparse.ArgumentParser:
     fe.add_argument("job_id")
     fe.add_argument("--out", type=str, default=None,
                     help="write the result JSON here instead of stdout")
+
+    wa = sub.add_parser(
+        "watch",
+        help="live dashboard for one job or the whole fleet",
+        description=(
+            "Follow a running job live (step progress, population, "
+            "us/particle sparkline, retries) over the service's "
+            "long-poll event route, or --fleet for a one-row-per-job "
+            "fleet table from /fleet.  Exits 0 when the watched job "
+            "finishes DONE (fleet view: when every job is terminal)."
+        ),
+    )
+    _add_client_flags(wa)
+    wa.add_argument("job_id", nargs="?", default=None,
+                    help="job id to follow (omit with --fleet)")
+    wa.add_argument("--fleet", action="store_true",
+                    help="watch every job (one table row per job)")
+    wa.add_argument("--interval", type=float, default=1.0,
+                    help="fleet view refresh seconds (default 1)")
+    wa.add_argument("--rounds", type=int, default=None,
+                    help="stop after N refreshes even if still running "
+                         "(useful in scripts/CI)")
     return parser
 
 
@@ -785,6 +809,27 @@ def _cmd_fetch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.service.watch import watch_fleet, watch_job
+
+    client = _service_client(args)
+    try:
+        if args.fleet:
+            return watch_fleet(
+                client, interval=args.interval, max_rounds=args.rounds
+            )
+        if args.job_id is None:
+            print(
+                "usage: repro watch <job_id> | repro watch --fleet",
+                file=sys.stderr,
+            )
+            return 2
+        return watch_job(client, args.job_id, max_rounds=args.rounds)
+    except KeyboardInterrupt:
+        print()  # leave the panel intact
+        return 130
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -799,6 +844,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "status": _cmd_status,
         "cancel": _cmd_cancel,
         "fetch": _cmd_fetch,
+        "watch": _cmd_watch,
     }
     return handlers[args.command](args)
 

@@ -11,10 +11,12 @@ machine, and the failure-mode table.
 from repro.service.api import ServiceAPI
 from repro.service.client import ServiceClient
 from repro.service.orchestrator import (
+    FLEET_GAUGES,
     Orchestrator,
     OrchestratorConfig,
     cache_key,
 )
+from repro.service.watch import watch_fleet, watch_job
 from repro.service.store import (
     CANCELLED,
     DONE,
@@ -46,6 +48,9 @@ __all__ = [
     "ServiceAPI",
     "ServiceClient",
     "cache_key",
+    "FLEET_GAUGES",
+    "watch_job",
+    "watch_fleet",
     "JobRecord",
     "JobStore",
     "ServiceJournal",

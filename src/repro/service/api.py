@@ -14,20 +14,38 @@ ephemeral port in tests), handler threads calling into the
 ``GET /jobs/<id>``              one job's status (404 unknown)
 ``POST /jobs/<id>/cancel``      cancel (409 already terminal)
 ``GET /jobs/<id>/result``       the DONE artifact (409 not done)
-``GET /metrics``                Prometheus text exposition
+``GET /jobs/<id>/events``       long-poll the job's merged event tail
+                                (``?cursor=`` resumes, ``?timeout=``
+                                bounds the wait)
+``GET /jobs/<id>/stream``       Server-Sent Events live stream
+                                (``Last-Event-ID``/``?cursor=``
+                                resumes; final ``state`` event at
+                                terminal)
+``GET /fleet``                  live fleet summary (per-job rows)
+``GET /metrics``                Prometheus text exposition (includes
+                                per-job labeled gauges while running)
 ``GET /healthz``                liveness + queue depth
 ==============================  =========================================
 
 Every error response is JSON ``{"error": <type>, "detail": ...,
 "context": {...}}`` so clients get the same typed taxonomy the Python
 API raises (:class:`~repro.errors.BackpressureError` -> 429, etc.).
+
+The two tail routes share one engine: a
+:class:`~repro.telemetry.stream.JobEventTail` over the job directory's
+``worker.jsonl`` + ``events.jsonl``.  The cursor is the tail's opaque
+byte-offset pair, so a client that disconnects mid-stream resumes
+exactly where it stopped -- no replay, no loss -- whether it long-polls
+or reconnects the SSE stream with ``Last-Event-ID``.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import (
     BackpressureError,
@@ -38,6 +56,16 @@ from repro.errors import (
     ServiceError,
 )
 from repro.service.orchestrator import Orchestrator
+from repro.telemetry.stream import JobEventTail
+
+#: Long-poll wait bounds, seconds (``?timeout=`` is clamped into them).
+LONGPOLL_DEFAULT = 10.0
+LONGPOLL_MAX = 30.0
+#: Cadence of tail polls while a watcher waits, seconds.
+TAIL_INTERVAL = 0.1
+#: Seconds of SSE silence before a ``: heartbeat`` comment is sent so
+#: proxies and clients can tell an idle stream from a dead one.
+SSE_HEARTBEAT = 5.0
 
 #: Typed error -> HTTP status.  Order matters: subclasses first.
 _STATUS = (
@@ -87,7 +115,10 @@ class ServiceAPI:
 
     def _dispatch(self, handler: BaseHTTPRequestHandler, method: str):
         try:
-            status, body = self._route(handler, method)
+            out = self._route(handler, method)
+            if out is None:
+                return  # the route streamed its own response (SSE)
+            status, body = out
         except ReproError as exc:
             status = _status_for(exc)
             body = {
@@ -111,7 +142,9 @@ class ServiceAPI:
         handler.wfile.write(blob)
 
     def _route(self, handler, method: str):
-        path = handler.path.rstrip("/") or "/"
+        parts = urlsplit(handler.path)
+        path = parts.path.rstrip("/") or "/"
+        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
         orch = self.orchestrator
         if method == "GET":
             if path == "/healthz":
@@ -124,11 +157,20 @@ class ServiceAPI:
                     ),
                     "_raw": orch.registry.to_prometheus(),
                 }
+            if path == "/fleet":
+                return 200, orch.fleet()
             if path == "/jobs":
                 return 200, {"jobs": orch.list_jobs()}
             if path.startswith("/jobs/") and path.endswith("/result"):
                 job_id = path[len("/jobs/"):-len("/result")]
                 return 200, orch.result(job_id)
+            if path.startswith("/jobs/") and path.endswith("/events"):
+                job_id = path[len("/jobs/"):-len("/events")]
+                return 200, self._longpoll(job_id, query)
+            if path.startswith("/jobs/") and path.endswith("/stream"):
+                job_id = path[len("/jobs/"):-len("/stream")]
+                self._sse(handler, job_id, query)
+                return None
             if path.startswith("/jobs/"):
                 return 200, orch.status(path[len("/jobs/"):])
         elif method == "POST":
@@ -148,6 +190,109 @@ class ServiceAPI:
                 job_id = path[len("/jobs/"):-len("/cancel")]
                 return 200, orch.cancel(job_id)
         raise JobNotFoundError("no such route", path=path, method=method)
+
+    # -- live tails ------------------------------------------------------
+
+    def _tail(self, job_id: str, cursor) -> JobEventTail:
+        """A merged event tail for a *known* job (404 otherwise)."""
+        job = self.orchestrator.store.get(job_id)  # raises JobNotFound
+        return JobEventTail(job.job_dir, cursor=cursor)
+
+    def _longpoll(self, job_id: str, query: dict) -> dict:
+        """``GET /jobs/<id>/events``: new records since ``?cursor=``.
+
+        Blocks up to ``?timeout=`` seconds (clamped to
+        ``LONGPOLL_MAX``) waiting for fresh records; returns
+        immediately once any arrive or the job is terminal.  The
+        response carries the next cursor, so a client loops
+        ``cursor = resp["cursor"]`` for a complete, gapless feed.
+        """
+        try:
+            timeout = float(query.get("timeout", LONGPOLL_DEFAULT))
+        except ValueError:
+            raise ConfigurationError(
+                f"timeout must be a number, got {query.get('timeout')!r}"
+            ) from None
+        timeout = min(max(0.0, timeout), LONGPOLL_MAX)
+        tail = self._tail(job_id, query.get("cursor"))
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.orchestrator.status(job_id)
+            events = tail.poll()
+            if events or status["terminal"] or (
+                time.monotonic() >= deadline
+            ):
+                return {
+                    "job_id": job_id,
+                    "events": events,
+                    "cursor": tail.cursor,
+                    "state": status["state"],
+                    "terminal": status["terminal"],
+                }
+            time.sleep(TAIL_INTERVAL)
+
+    def _sse(self, handler, job_id: str, query: dict) -> None:
+        """``GET /jobs/<id>/stream``: Server-Sent Events until terminal.
+
+        Every record becomes one SSE message whose ``id:`` is the tail
+        cursor *after* that record, so a reconnecting client's
+        ``Last-Event-ID`` header (or ``?cursor=``) resumes without a
+        gap.  Idle periods carry ``: heartbeat`` comments; the stream
+        ends with a final ``state`` event once the job is terminal and
+        its tail is drained.
+        """
+        cursor = query.get("cursor") or handler.headers.get(
+            "Last-Event-ID"
+        )
+        tail = self._tail(job_id, cursor)  # 404 before headers go out
+        handler.send_response(200)
+        handler.send_header("Content-Type", "text/event-stream")
+        handler.send_header("Cache-Control", "no-cache")
+        handler.send_header("X-Accel-Buffering", "no")
+        handler.end_headers()
+        wfile = handler.wfile
+        try:
+            last_write = time.monotonic()
+            while True:
+                status = self.orchestrator.status(job_id)
+                for rec in tail.poll():
+                    blob = json.dumps(rec, separators=(",", ":"))
+                    wfile.write(
+                        (
+                            f"id: {rec.get('cursor', tail.cursor)}\n"
+                            f"event: {rec.get('kind', 'event')}\n"
+                            f"data: {blob}\n\n"
+                        ).encode("utf-8")
+                    )
+                    last_write = time.monotonic()
+                if status["terminal"]:
+                    # One more drain already happened above; close with
+                    # the terminal state so clients know not to retry.
+                    final = json.dumps(
+                        {
+                            "job_id": job_id,
+                            "state": status["state"],
+                            "terminal": True,
+                        },
+                        separators=(",", ":"),
+                    )
+                    wfile.write(
+                        (
+                            f"id: {tail.cursor}\n"
+                            "event: state\n"
+                            f"data: {final}\n\n"
+                        ).encode("utf-8")
+                    )
+                    wfile.flush()
+                    return
+                if time.monotonic() - last_write > SSE_HEARTBEAT:
+                    wfile.write(b": heartbeat\n\n")
+                    last_write = time.monotonic()
+                wfile.flush()
+                time.sleep(TAIL_INTERVAL)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            # The watcher went away; its cursor lets it resume.
+            return
 
     @staticmethod
     def _read_json(handler) -> dict:

@@ -11,8 +11,9 @@ from __future__ import annotations
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
-from typing import Optional
+from typing import Iterator, Optional, Tuple
 
 from repro.errors import (
     BackpressureError,
@@ -101,6 +102,107 @@ class ServiceClient:
         req = urllib.request.Request(self.base_url + "/metrics")
         with urllib.request.urlopen(req, timeout=self.timeout) as resp:
             return resp.read().decode()
+
+    # -- live streaming --------------------------------------------------
+
+    def fleet(self) -> dict:
+        """GET /fleet: health plus one live row per job."""
+        return self._request("GET", "/fleet")
+
+    def events(
+        self,
+        job_id: str,
+        cursor: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """GET /jobs/<id>/events: one long-poll round.
+
+        Returns ``{"events", "cursor", "state", "terminal"}``; pass
+        the returned cursor back in for a gapless feed.
+        """
+        params = {}
+        if cursor:
+            params["cursor"] = cursor
+        if timeout is not None:
+            params["timeout"] = f"{timeout:g}"
+        query = "?" + urllib.parse.urlencode(params) if params else ""
+        return self._request("GET", f"/jobs/{job_id}/events{query}")
+
+    def iter_events(
+        self,
+        job_id: str,
+        cursor: Optional[str] = None,
+        poll_timeout: float = 10.0,
+    ) -> Iterator[dict]:
+        """Yield every event of a job until it goes terminal.
+
+        A long-poll loop over :meth:`events` -- survives service
+        restarts between rounds (the cursor is a plain byte-offset
+        pair into the job's artifacts, not server state).
+        """
+        while True:
+            out = self.events(job_id, cursor=cursor, timeout=poll_timeout)
+            cursor = out["cursor"]
+            for rec in out["events"]:
+                yield rec
+            if out["terminal"]:
+                return
+
+    def stream(
+        self,
+        job_id: str,
+        cursor: Optional[str] = None,
+    ) -> Iterator[Tuple[str, dict]]:
+        """GET /jobs/<id>/stream: yield ``(event, data)`` SSE messages.
+
+        Terminates after the final ``("state", {...})`` message.  On a
+        dropped connection the last message's ``data["cursor"]`` (or
+        the ``id:`` this generator tracked) resumes without a gap.
+        """
+        path = f"/jobs/{job_id}/stream"
+        headers = {"Accept": "text/event-stream"}
+        if cursor:
+            headers["Last-Event-ID"] = cursor
+        req = urllib.request.Request(
+            self.base_url + path, headers=headers
+        )
+        try:
+            resp = urllib.request.urlopen(req, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw)
+            except (json.JSONDecodeError, ValueError):
+                payload = {"detail": raw.decode(errors="replace")}
+            cls = _ERRORS.get(exc.code, ServiceError)
+            raise cls(
+                payload.get("detail", f"HTTP {exc.code}"),
+                **{
+                    str(k): v
+                    for k, v in (payload.get("context") or {}).items()
+                },
+            ) from None
+        with resp:
+            event, data_lines = "message", []
+            for raw_line in resp:
+                line = raw_line.decode("utf-8").rstrip("\n").rstrip("\r")
+                if not line:
+                    # Blank line = message boundary.
+                    if data_lines:
+                        data = json.loads("\n".join(data_lines))
+                        yield event, data
+                        if event == "state" and data.get("terminal"):
+                            return
+                    event, data_lines = "message", []
+                    continue
+                if line.startswith(":"):
+                    continue  # heartbeat comment
+                field, _, value = line.partition(":")
+                value = value[1:] if value.startswith(" ") else value
+                if field == "event":
+                    event = value
+                elif field == "data":
+                    data_lines.append(value)
 
     def wait(
         self,

@@ -60,10 +60,36 @@ from repro.scenarios.spec import OVERRIDE_KEYS, ScenarioSpec
 from repro.service import store as st
 from repro.service.store import JobRecord, JobStore
 from repro.service.worker import EXIT_DONE, EXIT_DRAINED, child_main
+from repro.telemetry.events import EventStream
 from repro.telemetry.exporters import write_prometheus_snapshot
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.stitch import ORCH_SPANS_FILE
+from repro.telemetry.stream import JobEventTail
 
 PathLike = Union[str, pathlib.Path]
+
+#: Per-job labeled gauge families maintained by the fleet scraper.
+FLEET_GAUGES = (
+    "repro_job_step",
+    "repro_job_total_steps",
+    "repro_job_particles",
+    "repro_job_us_per_particle",
+    "repro_job_load_imbalance",
+    "repro_job_retries",
+    "repro_job_heartbeat_age_seconds",
+)
+
+
+class OrchestratorTrace(EventStream):
+    """Orchestrator-side span stream (``orch_spans.jsonl``).
+
+    Dispatch latencies, per-attempt run envelopes, watchdog kills and
+    retry markers -- all timestamped on the ``perf_counter`` axis so
+    :mod:`repro.telemetry.stitch` can merge them with worker spans
+    into one fleet timeline.
+    """
+
+    filename = ORCH_SPANS_FILE
 
 
 def cache_key(
@@ -122,6 +148,13 @@ class OrchestratorConfig:
     drain_timeout: float = 60.0
     #: Seconds between ``metrics.prom`` snapshot rewrites.
     prom_every: float = 2.0
+    #: Seconds between fleet scrapes (per-job gauges from worker
+    #: artifacts).  The ``/fleet`` route forces a scrape, so this only
+    #: bounds the background staleness of ``/metrics``.
+    fleet_every: float = 1.0
+    #: Attach a telemetry hub to every job's worker (events.jsonl,
+    #: metrics.prom, trace.json in the job dir).
+    job_telemetry: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -194,6 +227,15 @@ class Orchestrator:
         # interval remains the watchdog's cadence.
         self._wake_r, self._wake_w = os.pipe()
         self._t_prom = 0.0
+        # Fleet observability: one merged tail per non-terminal job
+        # feeding the labeled per-job gauges and the /fleet summary,
+        # plus the orchestrator's own span stream for trace stitching.
+        self._trace = OrchestratorTrace(self.data_dir)
+        self._tails: Dict[str, JobEventTail] = {}
+        self._fleet: Dict[str, dict] = {}
+        self._tids: Dict[str, int] = {}
+        self._dispatched_pc: Dict[str, float] = {}
+        self._t_fleet = 0.0
         try:
             self._ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
@@ -214,6 +256,13 @@ class Orchestrator:
             queue_limit=self.config.queue_limit,
             requeued=requeued,
             torn_tail_repaired=self.store.torn_tail,
+        )
+        self._trace.emit(
+            "span",
+            name="service_start",
+            ts=time.perf_counter(),
+            dur=0.0,
+            tid=0,
         )
         self._update_gauges()
         self._thread = threading.Thread(
@@ -469,6 +518,7 @@ class Orchestrator:
                     self._watchdog()
                     self._dispatch()
                     self._update_gauges()
+                    self._scrape_fleet()
                 self._maybe_write_prom()
             except ServiceError:
                 # An injected death (orchestrator_kill, journal_tear)
@@ -510,7 +560,21 @@ class Orchestrator:
                 name=f"repro-job-{job.job_id}",
                 daemon=True,
             )
+            # Each job gets its own orchestrator track ("slot N" in the
+            # stitched trace) so concurrent run envelopes don't overlap.
+            self._tids.setdefault(job.job_id, len(self._tids) + 1)
+            t0 = time.perf_counter()
             proc.start()
+            t1 = time.perf_counter()
+            self._trace.emit(
+                "span",
+                name=f"dispatch attempt {attempt}",
+                ts=t0,
+                dur=t1 - t0,
+                tid=0,
+                job_id=job.job_id,
+            )
+            self._dispatched_pc[job.job_id] = t1
             self._procs[job.job_id] = proc
             self._dispatched[job.job_id] = now
             self._maybe_die(seq)
@@ -530,6 +594,7 @@ class Orchestrator:
                 else cfg.checkpoint_every
             ),
             "audit_every": cfg.audit_every,
+            "telemetry": cfg.job_telemetry,
         }
         faults_path = pathlib.Path(job.job_dir) / "faults.json"
         if faults_path.exists():
@@ -549,6 +614,19 @@ class Orchestrator:
             reason = self._kill_reason.pop(job_id, None)
             cancelling = job_id in self._cancelling
             self._cancelling.discard(job_id)
+            t0 = self._dispatched_pc.pop(job_id, None)
+            if t0 is not None:
+                # The attempt's run envelope: dispatch -> reap, on the
+                # job's own orchestrator track.
+                attempt = self.store.get(job_id).attempt
+                self._trace.emit(
+                    "span",
+                    name=f"attempt {attempt} (exit {code})",
+                    ts=t0,
+                    dur=max(0.0, time.perf_counter() - t0),
+                    tid=self._tids.get(job_id, 0),
+                    job_id=job_id,
+                )
             self._finish(job_id, code, reason, cancelling)
 
     def _finish(
@@ -661,6 +739,7 @@ class Orchestrator:
                 and now - job.started_time > job.deadline
             ):
                 self._kill_reason[job_id] = "deadline"
+                self._mark_kill(job_id, "deadline")
                 proc.kill()
                 continue
             # Silence is measured from this attempt's dispatch or the
@@ -671,9 +750,29 @@ class Orchestrator:
             last = self._dispatched.get(job_id, now)
             if hb.exists():
                 last = max(last, hb.stat().st_mtime)
+            # The stall-precursor gauge: a rising age is visible on
+            # /metrics well before it crosses heartbeat_timeout and
+            # the watchdog fires.
+            self.registry.gauge(
+                "repro_job_heartbeat_age_seconds",
+                labels={"job_id": job_id, "scenario": job.scenario},
+                help="seconds since a running job's last heartbeat",
+            ).set(max(0.0, now - last))
             if now - last > self.config.heartbeat_timeout:
                 self._kill_reason[job_id] = "stall"
+                self._mark_kill(job_id, "stall")
                 proc.kill()
+
+    def _mark_kill(self, job_id: str, reason: str) -> None:
+        """Zero-duration marker span at a watchdog kill."""
+        self._trace.emit(
+            "span",
+            name=f"watchdog_kill {reason}",
+            ts=time.perf_counter(),
+            dur=0.0,
+            tid=self._tids.get(job_id, 0),
+            job_id=job_id,
+        )
 
     # -- metrics ---------------------------------------------------------
 
@@ -690,6 +789,113 @@ class Orchestrator:
             "repro_service_workers_busy",
             help="worker processes currently running jobs",
         ).set(len(self._procs))
+
+    def _scrape_fleet(self, force: bool = False) -> None:
+        """Update the per-job rows and labeled gauges from artifacts.
+
+        Tails every non-terminal job's ``worker.jsonl`` +
+        ``events.jsonl`` (heartbeats carry step / population /
+        us-per-particle; telemetry ``metrics`` records carry load
+        imbalance) and mirrors the latest values into labeled gauge
+        series.  Jobs that go terminal keep their last row in the
+        ``/fleet`` summary but have their labeled series dropped so a
+        long-lived ``/metrics`` page stays bounded to RUNNING jobs.
+        """
+        now = time.time()
+        if not force and now - self._t_fleet < self.config.fleet_every:
+            return
+        self._t_fleet = now
+        for job in list(self.store.jobs.values()):
+            job_id = job.job_id
+            if job.terminal:
+                tail = self._tails.pop(job_id, None)
+                if (
+                    tail is None
+                    and job_id in self._tids
+                    and job_id not in self._fleet
+                ):
+                    # Dispatched and finished entirely between scrapes:
+                    # read its artifacts once so the row isn't empty.
+                    tail = JobEventTail(job.job_dir)
+                if tail is not None:
+                    # Final drain: a short job can finish between two
+                    # scrapes; its last heartbeat still belongs in the
+                    # fleet row.
+                    self._fold_records(
+                        self._fleet.setdefault(job_id, {}), tail.poll()
+                    )
+                    self._prune_job_series(job)
+                row = self._fleet.get(job_id)
+                if row is not None:
+                    row["state"] = job.state
+                continue
+            tail = self._tails.get(job_id)
+            if tail is None:
+                tail = self._tails[job_id] = JobEventTail(job.job_dir)
+            row = self._fleet.setdefault(job_id, {})
+            self._fold_records(row, tail.poll())
+            row["state"] = job.state
+            row["retries"] = max(0, job.attempt - 1)
+            labels = {"job_id": job_id, "scenario": job.scenario}
+            for name, key in (
+                ("repro_job_step", "step"),
+                ("repro_job_total_steps", "total"),
+                ("repro_job_particles", "n_flow"),
+                ("repro_job_us_per_particle", "us_per_particle"),
+                ("repro_job_load_imbalance", "load_imbalance"),
+                ("repro_job_retries", "retries"),
+            ):
+                if row.get(key) is not None:
+                    self.registry.gauge(name, labels=labels).set(
+                        float(row[key])
+                    )
+
+    @staticmethod
+    def _fold_records(row: dict, records) -> None:
+        """Fold freshly tailed records into one job's fleet row."""
+        for rec in records:
+            kind = rec.get("kind")
+            if kind == "heartbeat":
+                for k in ("step", "total", "n_flow", "us_per_particle"):
+                    if rec.get(k) is not None:
+                        row[k] = rec[k]
+            elif kind == "metrics":
+                if rec.get("load_imbalance") is not None:
+                    row["load_imbalance"] = rec["load_imbalance"]
+                if rec.get("n_flow") is not None:
+                    row["n_flow"] = rec["n_flow"]
+
+    def _prune_job_series(self, job: JobRecord) -> None:
+        labels = {"job_id": job.job_id, "scenario": job.scenario}
+        for name in FLEET_GAUGES:
+            self.registry.drop(name, labels=labels)
+
+    def fleet(self) -> dict:
+        """The live fleet summary (``GET /fleet``): health plus one
+        row per job with its freshest scraped numbers."""
+        with self._lock:
+            if not self._dead:
+                self._scrape_fleet(force=True)
+            now = time.time()
+            jobs = []
+            for job in self.store.jobs.values():
+                row = dict(self._fleet.get(job.job_id, {}))
+                row.update(
+                    job_id=job.job_id,
+                    scenario=job.scenario,
+                    seed=job.seed,
+                    state=job.state,
+                    attempt=job.attempt,
+                    retries=max(0, job.attempt - 1),
+                )
+                if job.job_id in self._procs:
+                    hb = pathlib.Path(job.job_dir) / "worker.jsonl"
+                    last = self._dispatched.get(job.job_id, now)
+                    if hb.exists():
+                        last = max(last, hb.stat().st_mtime)
+                    row["heartbeat_age"] = max(0.0, now - last)
+                jobs.append(row)
+            return {"health": self.health(), "jobs": jobs}
 
     def _maybe_write_prom(self) -> None:
         now = time.time()
@@ -749,6 +955,7 @@ class Orchestrator:
             proc.join(timeout=5.0)
         self._procs.clear()
         self.store.journal.close()
+        self._trace.close()
 
     def kill(self) -> None:
         """Simulate an orchestrator SIGKILL (tests): children die,
@@ -828,6 +1035,14 @@ class Orchestrator:
             self._procs.clear()
             self._dispatched.clear()
             self.store.record("service_stop", **summary)
+            self._trace.emit(
+                "span",
+                name="service_stop",
+                ts=time.perf_counter(),
+                dur=0.0,
+                tid=0,
+            )
+            self._trace.close()
             self._update_gauges()
             write_prometheus_snapshot(
                 self.registry, self.data_dir / "metrics.prom"

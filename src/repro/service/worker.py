@@ -13,7 +13,15 @@ owns the job directory (``<data_dir>/<job_id>/``):
   progress after every chunk of steps; the orchestrator's watchdog
   reads the file's mtime, so a worker that stops stamping (wedged,
   stalled, or fault-injected) is detected and killed without any
-  cooperation from the worker;
+  cooperation from the worker.  Each heartbeat also carries the live
+  numbers (``step``, ``n_flow``, ``us_per_particle``) that the fleet
+  scraper and the ``/jobs/<id>/stream`` routes serve to watchers;
+* ``events.jsonl`` / ``metrics.prom`` / ``trace.json`` -- the job's
+  telemetry artifacts: every job runs with a
+  :class:`~repro.telemetry.hub.Telemetry` hub attached (unless the
+  payload disables it), so per-job metric series, physics observables
+  and Perfetto span traces exist for live streaming and for
+  :mod:`repro.telemetry.stitch` to merge into the fleet timeline;
 * ``result.json`` -- the terminal artifact, written atomically
   (tmp + rename) so a crash can never leave a half-result that parses.
 
@@ -43,6 +51,7 @@ from repro.resilience.faults import FaultPlan, FaultSpec
 from repro.resilience.supervisor import SupervisedRun
 from repro.scenarios.spec import ScenarioSpec
 from repro.telemetry.events import EventStream
+from repro.telemetry.hub import Telemetry
 
 #: Worker exit codes (the orchestrator's dispatch protocol).
 EXIT_DONE = 0
@@ -118,6 +127,43 @@ def _mark_fired(job_dir: pathlib.Path, spec: FaultSpec) -> None:
         os.fsync(fh.fileno())
 
 
+class _HeartbeatStats:
+    """Live numbers riding on each heartbeat record.
+
+    ``us_per_particle`` is the mean over the steps since the previous
+    heartbeat, taken as deltas of the telemetry histogram's running
+    sum/count -- the per-chunk series ``repro watch`` sparklines.
+    """
+
+    def __init__(self, run: SupervisedRun) -> None:
+        self._run = run
+        self._sum = 0.0
+        self._count = 0
+
+    def sample(self) -> dict:
+        run = self._run
+        out = {"n_flow": int(run.sim.particles.n)}
+        tel = getattr(run, "telemetry", None)
+        if tel is not None:
+            hist = tel.registry.histogram("repro_step_us_per_particle")
+            d_sum = hist.sum - self._sum
+            d_count = hist.count - self._count
+            self._sum, self._count = hist.sum, hist.count
+            if d_count > 0:
+                out["us_per_particle"] = d_sum / d_count
+        return out
+
+
+def _close_telemetry(run: SupervisedRun) -> None:
+    """Flush the job's telemetry artifacts (trace.json, final .prom)."""
+    tel = getattr(run, "telemetry", None)
+    if tel is not None:
+        try:
+            tel.close()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+
+
 def _phases(schedule) -> list:
     transient, average = int(schedule[0]), int(schedule[1])
     return [
@@ -177,11 +223,18 @@ def execute_job(job_dir, payload: dict) -> int:
         step=run.sim.step_count,
         total=total_end,
     )
+    beat = _HeartbeatStats(run)
     try:
         first = first_phases is not None
         while True:
             step = run.sim.step_count
-            log.emit("heartbeat", step=step, attempt=attempt)
+            log.emit(
+                "heartbeat",
+                step=step,
+                attempt=attempt,
+                total=total_end,
+                **beat.sample(),
+            )
             if plan is not None:
                 kill = plan.take("worker_kill", step)
                 if kill is not None:
@@ -197,6 +250,7 @@ def execute_job(job_dir, payload: dict) -> int:
                     time.sleep(stall.seconds)
             if drain["requested"]:
                 log.emit("drained", step=step, attempt=attempt)
+                _close_telemetry(run)
                 run.close()
                 return EXIT_DRAINED
             if step >= total_end:
@@ -208,10 +262,12 @@ def execute_job(job_dir, payload: dict) -> int:
         result = result_summary(run, attempt)
         _atomic_write_json(job_dir / "result.json", result)
         log.emit("done", step=run.sim.step_count, attempt=attempt)
+        _close_telemetry(run)
         run.close()
         return EXIT_DONE
     except Exception as exc:  # noqa: BLE001 - reported, not swallowed
         _fail(job_dir, log, attempt, exc)
+        _close_telemetry(run)
         try:
             run.close()
         except Exception:  # pragma: no cover - teardown best-effort
@@ -228,8 +284,21 @@ def _build_run(job_dir: pathlib.Path, payload: dict, chunk: int):
     """
     run_dir = job_dir / "run"
     schedule = payload["schedule"]
+
+    def _telemetry() -> Optional[Telemetry]:
+        # Every job gets its own telemetry hub writing into the job
+        # dir: events.jsonl / metrics.prom / trace.json are what the
+        # streaming routes, the fleet scraper and the trace stitcher
+        # read.
+        if not payload.get("telemetry", True):
+            return None
+        return Telemetry(run_dir=job_dir, sample_every=chunk)
+
     if (run_dir / "run.json").exists():
         run = SupervisedRun.resume(run_dir)
+        telemetry = _telemetry()
+        if telemetry is not None:
+            run.attach_telemetry(telemetry)
         stored = run._meta.get("phases")
         if stored:
             start = int(run._meta["schedule_start"])
@@ -248,7 +317,11 @@ def _build_run(job_dir: pathlib.Path, payload: dict, chunk: int):
         if k not in ("transient", "average")
     }
     overrides["seed"] = int(payload["seed"])
-    sim = spec.build_simulation(overrides)
+    if spec.is_3d:
+        # The 3-D driver has no telemetry seam yet.
+        sim = spec.build_simulation(overrides)
+    else:
+        sim = spec.build_simulation(overrides, telemetry=_telemetry())
     run = SupervisedRun(
         sim,
         run_dir,

@@ -28,6 +28,11 @@ from repro.telemetry.metrics import (
     US_PER_PARTICLE_BUCKETS,
 )
 from repro.telemetry.spans import SpanTracer, validate_trace
+from repro.telemetry.stream import (
+    JobEventTail,
+    JsonlFollower,
+    snapshot_records,
+)
 
 __all__ = [
     "Telemetry",
@@ -39,4 +44,18 @@ __all__ = [
     "US_PER_PARTICLE_BUCKETS",
     "SpanTracer",
     "validate_trace",
+    "JsonlFollower",
+    "JobEventTail",
+    "snapshot_records",
+    "stitch_fleet_trace",
 ]
+
+
+def __getattr__(name):
+    # Lazy so `python -m repro.telemetry.stitch` does not import the
+    # module twice (runpy warns when the package eagerly imports the
+    # submodule being run as __main__).
+    if name == "stitch_fleet_trace":
+        from repro.telemetry.stitch import stitch_fleet_trace
+        return stitch_fleet_trace
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

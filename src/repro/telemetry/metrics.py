@@ -187,6 +187,18 @@ class MetricsRegistry:
         """Get or create the histogram ``name`` (optionally labeled)."""
         return self._get(Histogram, name, labels, buckets=buckets, help=help)
 
+    def drop(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> bool:
+        """Remove one series (if present); returns whether it existed.
+
+        Labeled per-job series must be retired when the job leaves the
+        fleet -- a long-lived service would otherwise grow one gauge
+        set per job ever submitted and its ``/metrics`` page without
+        bound.
+        """
+        return self._metrics.pop((name, _labelkey(labels)), None) is not None
+
     # -- reading ---------------------------------------------------------
 
     def families(self) -> Iterable[Tuple[str, LabelPairs, object]]:

@@ -9,7 +9,12 @@ fraction, did the new backend change the imbalance, did us/particle
 regress.
 
 The summary is pure stream processing (one pass over the JSONL), so it
-works on live run directories and on streams truncated by a crash.
+works on live run directories and on streams truncated by a crash:
+events are read through the tolerant snapshot reader
+(:func:`repro.telemetry.stream.snapshot_records`), which drops a torn
+final line -- reporting or diffing against a run that is *still being
+appended to* (``repro watch`` next door, a live service job) sees a
+consistent prefix instead of a ``JSONDecodeError``.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.perf import PAPER_PHASES
 from repro.telemetry.events import EventStream
+from repro.telemetry.stream import snapshot_records
 
 PathLike = Union[str, pathlib.Path]
 
@@ -32,8 +38,16 @@ PAPER_FRACTIONS = {
 
 
 def summarize(run_dir: PathLike) -> dict:
-    """One-pass summary of a run directory's ``events.jsonl``."""
-    events = EventStream.load(run_dir)
+    """One-pass summary of a run directory's ``events.jsonl``.
+
+    Reads through the torn-tail-tolerant snapshot reader, so a live
+    run directory (writer mid-``write``) summarizes cleanly; the at
+    most one record being appended right now is simply not counted
+    yet.
+    """
+    events = snapshot_records(
+        pathlib.Path(run_dir) / EventStream.filename, strict=False
+    )
     if not events:
         raise FileNotFoundError(
             f"no events.jsonl records under {run_dir} (was the run "

@@ -1,0 +1,197 @@
+"""Cross-process trace stitching: one fleet timeline per service run.
+
+Every job worker records Perfetto-loadable spans through its telemetry
+hub (``span`` records in the job directory's ``events.jsonl``), and
+the orchestrator records its own dispatch / run-envelope / watchdog
+spans into ``orch_spans.jsonl``.  All of them timestamp with
+``time.perf_counter`` -- CLOCK_MONOTONIC on Linux, one system-wide
+axis -- so spans from different processes can be laid on a single
+timeline without clock translation.
+
+:func:`stitch_fleet_trace` merges them into one Chrome ``trace_event``
+JSON (``fleet_trace.json``): the orchestrator becomes pid 1, each job
+a pid of its own (its worker's driver/shard tids preserved as
+threads), with ``process_name`` metadata carrying the job ids.  The
+result renders in Perfetto as the fleet's gantt chart -- dispatch
+latencies, retry gaps and per-job phase activity on aligned tracks --
+and is validated by :func:`repro.telemetry.spans.validate_trace` in CI.
+
+CLI: ``python -m repro.telemetry.stitch DATA_DIR [--out PATH]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.telemetry.spans import validate_trace
+from repro.telemetry.stream import snapshot_records
+
+PathLike = Union[str, pathlib.Path]
+
+#: The orchestrator's fixed pid on the stitched timeline.
+ORCHESTRATOR_PID = 1
+
+#: File the orchestrator appends its span records to.
+ORCH_SPANS_FILE = "orch_spans.jsonl"
+
+
+def _job_dirs(data_dir: pathlib.Path) -> List[pathlib.Path]:
+    """Job directories under a service data dir, stable order.
+
+    A job directory is any subdirectory holding worker or telemetry
+    artifacts -- discovery works on raw directories, no journal
+    needed, so a half-dead service can still be stitched.
+    """
+    dirs = [
+        d
+        for d in sorted(data_dir.iterdir())
+        if d.is_dir()
+        and (
+            (d / "worker.jsonl").exists() or (d / "events.jsonl").exists()
+        )
+    ]
+    return dirs
+
+
+def _span_events(
+    records: Sequence[dict], pid: int, extra_args: Optional[dict] = None
+) -> List[dict]:
+    """Raw span records -> Chrome X events (absolute ts, remapped pid)."""
+    events = []
+    for rec in records:
+        if rec.get("kind") != "span":
+            continue
+        ts = rec.get("ts")
+        if ts is None:
+            continue
+        args = {"step": rec.get("step")}
+        if rec.get("job_id") is not None:
+            args["job_id"] = rec["job_id"]
+        if extra_args:
+            args.update(extra_args)
+        events.append(
+            {
+                "ph": "X",
+                "name": rec.get("name", "?"),
+                "ts": float(ts),  # absolute for now; rebased below
+                "dur": max(float(rec.get("dur", 0.0)), 0.0),
+                "pid": pid,
+                "tid": int(rec.get("tid", 0)),
+                "args": args,
+            }
+        )
+    return events
+
+
+def stitch_fleet_trace(
+    data_dir: PathLike, out: Optional[PathLike] = None
+) -> dict:
+    """Merge orchestrator + per-job spans into one fleet trace dict.
+
+    Writes ``fleet_trace.json`` into ``data_dir`` (or ``out``) and
+    returns the trace.  Jobs become pids 2, 3, ... in sorted job-id
+    order; a job with no spans yet still gets its ``process_name``
+    metadata so the fleet's shape is visible while it is queued.
+    """
+    data_dir = pathlib.Path(data_dir)
+    events: List[dict] = []
+    names: Dict[int, str] = {}
+
+    orch = snapshot_records(data_dir / ORCH_SPANS_FILE, strict=False)
+    events.extend(_span_events(orch, ORCHESTRATOR_PID))
+    names[ORCHESTRATOR_PID] = "orchestrator"
+
+    for i, job_dir in enumerate(_job_dirs(data_dir)):
+        pid = ORCHESTRATOR_PID + 1 + i
+        names[pid] = job_dir.name
+        job_spans = snapshot_records(
+            job_dir / "events.jsonl", strict=False
+        )
+        events.extend(_span_events(job_spans, pid))
+
+    # Rebase every timestamp onto the earliest span and scale to the
+    # microseconds Chrome expects.
+    if events:
+        t_base = min(e["ts"] for e in events)
+        for e in events:
+            e["ts"] = (e["ts"] - t_base) * 1e6
+            e["dur"] = e["dur"] * 1e6
+
+    tracks = sorted({(e["pid"], e["tid"]) for e in events})
+    meta: List[dict] = []
+    for pid, name in sorted(names.items()):
+        meta.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+    for pid, tid in tracks:
+        label = "driver" if tid == 0 else f"shard {tid}"
+        if pid == ORCHESTRATOR_PID:
+            label = "scheduler" if tid == 0 else f"slot {tid}"
+        meta.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+
+    trace = {
+        "traceEvents": events + meta,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "stitched_from": str(data_dir),
+            "jobs": [n for p, n in sorted(names.items()) if p != ORCHESTRATOR_PID],
+        },
+    }
+    out_path = pathlib.Path(out) if out is not None else (
+        data_dir / "fleet_trace.json"
+    )
+    out_path.write_text(json.dumps(trace), encoding="utf-8")
+    return trace
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: stitch a service data dir into a fleet trace."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.stitch",
+        description=(
+            "Merge orchestrator and per-job worker spans into one "
+            "Perfetto-loadable fleet_trace.json"
+        ),
+    )
+    parser.add_argument(
+        "data_dir", help="service data directory (holds job subdirs)"
+    )
+    parser.add_argument(
+        "--out", default=None, help="output path (default: DATA_DIR/fleet_trace.json)"
+    )
+    args = parser.parse_args(argv)
+    trace = stitch_fleet_trace(args.data_dir, out=args.out)
+    problems = validate_trace(trace)
+    n_spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+    pids = {e["pid"] for e in trace["traceEvents"]}
+    out = args.out or str(pathlib.Path(args.data_dir) / "fleet_trace.json")
+    print(
+        f"stitched {n_spans} spans across {len(pids)} processes -> {out}"
+    )
+    if problems:
+        for p in problems:
+            print(f"invalid: {p}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
