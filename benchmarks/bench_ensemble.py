@@ -1,0 +1,222 @@
+"""ENSEMBLE -- replica-batched stepping vs R sequential solo runs.
+
+Runs R = 8 replicas of the Mach-4 wedge problem (~30k particles in
+total across the fleet at the benchmark density) two ways from the same seeds: once as
+R sequential solo engine runs (``EnsembleEngine`` with one replica
+each -- the classical seed-sweep workflow) and once as a single batched
+engine stepping all R replicas as one replica-blocked population.  The
+physics is bitwise identical either way (asserted by the ensemble CI
+job); the batched run amortizes every NumPy kernel dispatch over an
+R-times-wider array, which is where the aggregate-throughput speedup
+comes from at per-replica populations small enough for dispatch
+overhead to matter.
+
+Reports aggregate particle-steps/second for both modes, the per-phase
+ledger of the batched run, and the speedup.
+
+Standalone: ``PYTHONPATH=src python benchmarks/bench_ensemble.py``
+writes ``BENCH_ensemble.json`` at the repository root.
+
+CI smoke mode: ``--steps 5 --check-against BENCH_ensemble.json`` runs
+a short measurement and exits non-zero if the batched path's
+us/particle/step regressed more than ``--tolerance`` (default 25%)
+against the committed record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.core.simulation import SimulationConfig
+from repro.ensemble import EnsembleEngine
+from repro.geometry.domain import Domain
+from repro.geometry.wedge import Wedge
+from repro.physics.freestream import Freestream
+
+WARMUP_STEPS = 5
+TIMED_STEPS = 30
+N_REPLICAS = 8
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def default_config(
+    density: float = 0.65, seed: int = 1989
+) -> SimulationConfig:
+    """The paper's Mach-4 wedge geometry at ~30k particles total (R=8).
+
+    The density targets ~3.7k particles per replica: small enough that
+    a solo run is dominated by per-kernel dispatch overhead, which is
+    precisely the regime the batched engine exists for.  (At 10x the
+    population both modes are memory-bound and batching buys nothing.)
+    """
+    return SimulationConfig(
+        domain=Domain(98, 64),
+        freestream=Freestream(
+            mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=density
+        ),
+        wedge=Wedge(x_leading=20.0, base=25.0, angle_deg=30.0),
+        seed=seed,
+    )
+
+
+def _time_steps(engine: EnsembleEngine, steps: int) -> tuple:
+    """Per-step wall times (array) and summed particle-steps."""
+    engine.run(WARMUP_STEPS)
+    engine.perf.reset()
+    step_times = np.empty(steps)
+    particle_steps = 0
+    for i in range(steps):
+        t0 = time.perf_counter()
+        engine.step()
+        step_times[i] = time.perf_counter() - t0
+        particle_steps += engine.particles.n
+    return step_times, particle_steps
+
+
+def run_benchmark(
+    config: SimulationConfig | None = None,
+    steps: int = TIMED_STEPS,
+    n_replicas: int = N_REPLICAS,
+) -> dict:
+    """Measure batched vs sequential stepping; return the record.
+
+    Both modes are reduced to a median-per-step wall time (shared CI
+    machines have multi-second slow windows that would otherwise
+    dominate a single mean), taken over *aggregate fleet steps*: the
+    sequential baseline's per-step times are summed across the R solo
+    runs at matching step indices first.  Solo step times are bimodal
+    (plunger-refill steps cost several times a quiet step), so a
+    per-engine median would silently drop the expensive steps from the
+    baseline while the batched engine -- whose every step carries all
+    R replicas' work -- kept them; aligning by step index compares the
+    same physics schedule on both sides.
+    """
+    config = config or default_config()
+
+    # Sequential baseline: R independent solo engines (replica r keyed
+    # identically to the batched run's member r), timed back to back.
+    seq_step_times = np.zeros(steps)
+    seq_particle_steps = 0
+    for rid in range(n_replicas):
+        solo = EnsembleEngine(config, replica_ids=[rid])
+        times, ps = _time_steps(solo, steps)
+        seq_step_times += times
+        seq_particle_steps += ps
+    seq_seconds = float(np.median(seq_step_times)) * steps
+
+    batched = EnsembleEngine(config, n_replicas=n_replicas)
+    bat_times, bat_particle_steps = _time_steps(batched, steps)
+    bat_seconds = float(np.median(bat_times)) * steps
+    per_step = batched.perf.per_step_seconds()
+    fractions = batched.perf.fractions()
+
+    n_total = batched.particles.n
+    result = {
+        "bench": "ensemble",
+        "config": {
+            "domain": [config.domain.nx, config.domain.ny],
+            "mach": config.freestream.mach,
+            "density": config.freestream.density,
+            "lambda_mfp": config.freestream.lambda_mfp,
+            "seed": config.seed,
+        },
+        "n_replicas": n_replicas,
+        "n_particles_total": n_total,
+        "n_particles_per_replica": n_total // n_replicas,
+        "timed_steps": steps,
+        "sequential": {
+            "seconds": seq_seconds,
+            "us_per_particle_step": seq_seconds / seq_particle_steps * 1e6,
+            "particle_steps_per_sec": seq_particle_steps / seq_seconds,
+        },
+        "batched": {
+            "seconds": bat_seconds,
+            "us_per_particle_step": bat_seconds / bat_particle_steps * 1e6,
+            "particle_steps_per_sec": bat_particle_steps / bat_seconds,
+            "phase_seconds_per_step": per_step,
+            "phase_fractions": fractions,
+        },
+        "speedup": seq_seconds / bat_seconds,
+    }
+    return result
+
+
+def check_against(result: dict, baseline_path: pathlib.Path,
+                  tolerance: float) -> bool:
+    """True if the batched path is within ``tolerance`` of baseline."""
+    baseline = json.loads(baseline_path.read_text())
+    ref = baseline["batched"]["us_per_particle_step"]
+    got = result["batched"]["us_per_particle_step"]
+    ratio = got / ref
+    print(
+        f"regression check: {got:.3f} vs baseline {ref:.3f} "
+        f"us/particle/step ({ratio:.2f}x, tolerance {1 + tolerance:.2f}x)"
+    )
+    return ratio <= 1.0 + tolerance
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--steps", type=int, default=TIMED_STEPS,
+        help="timed steps per mode (smoke runs use ~5)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=N_REPLICAS,
+        help=f"ensemble width (default {N_REPLICAS})",
+    )
+    parser.add_argument(
+        "--check-against", type=pathlib.Path, default=None,
+        help="committed BENCH_ensemble.json to compare with; "
+             "exits 1 on a regression beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional slowdown (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    smoke = args.check_against is not None
+    result = run_benchmark(steps=args.steps, n_replicas=args.replicas)
+    if not smoke:
+        out = REPO_ROOT / "BENCH_ensemble.json"
+        out.write_text(json.dumps(result, indent=2) + "\n")
+    print(
+        f"{result['n_replicas']} replicas x "
+        f"{result['n_particles_per_replica']} particles"
+    )
+    for name in ("sequential", "batched"):
+        r = result[name]
+        print(
+            "{:<10s}: {:10.0f} particle-steps/s  "
+            "({:.3f} us/particle/step)".format(
+                name, r["particle_steps_per_sec"],
+                r["us_per_particle_step"],
+            )
+        )
+    for pname, frac in result["batched"]["phase_fractions"].items():
+        print(
+            "  {:<10s} {:6.1%}  ({:.2f} ms/step)".format(
+                pname, frac,
+                result["batched"]["phase_seconds_per_step"][pname] * 1e3,
+            )
+        )
+    print("speedup : {:.2f}x".format(result["speedup"]))
+    if smoke:
+        if not check_against(result, args.check_against, args.tolerance):
+            print("FAIL: batched stepping slower than committed baseline")
+            return 1
+        print("OK: within tolerance of the committed baseline")
+    else:
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,9 @@ Subcommands:
   model (optionally measured with the emulation engine).
 * ``info`` -- version, configuration defaults and the paper constants.
 * ``serve`` -- run the job orchestration service (``docs/service.md``);
-  ``submit`` / ``status`` / ``cancel`` / ``fetch`` talk to it over HTTP.
+  ``submit`` / ``status`` / ``cancel`` / ``fetch`` talk to it over HTTP;
+  ``sweep`` expands a Mach x Kn x seed grid into one submission per
+  grid point.
 * ``watch`` -- live dashboard for one job (streamed step progress,
   us/particle sparkline, retries) or ``--fleet`` for the whole fleet.
 
@@ -137,6 +139,15 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="override the transient step count")
     r.add_argument("--average", type=int, default=None,
                    help="override the averaging step count")
+    r.add_argument("--replicas", type=int, default=None, metavar="R",
+                   help="step R independent seeds as one replica-batched "
+                        "population (repro.ensemble) and report each "
+                        "observable as mean +/- a t-confidence interval; "
+                        "with --validate, gate each check on the CI "
+                        "containing its reference value")
+    r.add_argument("--confidence", type=float, default=0.95,
+                   help="confidence level for --replicas intervals "
+                        "(default 0.95)")
     _add_infra_flags(r, default_dir="runs/<scenario>-<seed>")
 
     w = sub.add_parser(
@@ -232,6 +243,37 @@ def _build_parser() -> argparse.ArgumentParser:
                          "exit 0 only on DONE")
     sj.add_argument("--timeout", type=float, default=600.0,
                     help="--wait limit, seconds")
+
+    sw = sub.add_parser(
+        "sweep",
+        help="submit a mach x kn x seed grid of jobs to the service",
+        description=(
+            "Expand a parameter grid into individual job submissions "
+            "through the service's normal submit path (dedup cache, "
+            "backpressure and retries all apply per job).  Each axis "
+            "flag takes one or more values; omitted axes use the "
+            "scenario's defaults.  --kn values are freestream mean "
+            "free paths in cell widths (the lambda_mfp override)."
+        ),
+    )
+    _add_client_flags(sw)
+    sw.add_argument("scenario", help="registered scenario name")
+    sw.add_argument("--mach", type=float, nargs="+", default=None,
+                    help="freestream Mach numbers to sweep")
+    sw.add_argument("--kn", type=float, nargs="+", default=None,
+                    help="freestream mean free paths (cells) to sweep")
+    sw.add_argument("--seeds", type=int, nargs="+", default=None,
+                    help="seeds to sweep (default: the scenario's seed)")
+    sw.add_argument("--nx", type=int, default=None)
+    sw.add_argument("--ny", type=int, default=None)
+    sw.add_argument("--angle", type=float, default=None)
+    sw.add_argument("--density", type=float, default=None)
+    sw.add_argument("--transient", type=int, default=None)
+    sw.add_argument("--average", type=int, default=None)
+    sw.add_argument("--steps", type=int, default=None,
+                    help="smoke-run: 0 transient + N averaging steps")
+    sw.add_argument("--deadline", type=float, default=None,
+                    help="per-job wall-clock deadline, seconds")
 
     st_ = sub.add_parser("status", help="show job status / list jobs")
     _add_client_flags(st_)
@@ -474,6 +516,110 @@ def _execute_schedule(
     return _run_report(sim, args)
 
 
+def _run_ensemble(spec, overrides, args: argparse.Namespace) -> int:
+    """Run a scenario as a replica-batched ensemble and report CIs."""
+    from repro.analysis.shock import fit_shock_angle, post_shock_plateau
+    from repro.ensemble import EnsembleEngine, ensemble_statistic
+    from repro.errors import ConfigurationError, ReproError
+    from repro.geometry.wedge import Wedge
+    from repro.physics import theory
+
+    unsupported = [
+        flag
+        for flag, on in (
+            ("--workers", args.workers > 1),
+            ("--supervised", args.supervised),
+            ("--resume", args.resume is not None),
+            ("--vtk", args.vtk is not None),
+        )
+        if on
+    ]
+    if unsupported:
+        raise ConfigurationError(
+            f"--replicas does not support {unsupported} yet"
+        )
+    config = spec.build_config(**overrides)
+    transient, average = spec.resolve_schedule(overrides)
+    tel = _make_telemetry(
+        args,
+        default_dir=f"runs/{spec.name}-{config.seed}-ensemble-telemetry",
+    )
+    engine = EnsembleEngine(
+        config,
+        n_replicas=args.replicas,
+        metrics=None if tel is None else tel.registry,
+    )
+    print(
+        f"{engine.particles.n} particles "
+        f"({args.replicas} replicas), grid "
+        f"{config.domain.nx}x{config.domain.ny}"
+    )
+    t0 = time.time()
+    engine.run_schedule(transient, average)
+    _telemetry_outro(tel)
+    print(
+        f"ran {transient}+{average} steps x {args.replicas} replicas "
+        f"in {time.time()-t0:.0f} s"
+    )
+
+    def _report(name, values, expected):
+        stat = ensemble_statistic(values, confidence=args.confidence)
+        ref = f"  (theory {expected:.2f})" if expected is not None else ""
+        print(f"{name:<16s}: {stat}{ref}")
+
+    wedge = config.wedge
+    fields = engine.density_ratio_fields()
+    if isinstance(wedge, Wedge):
+        try:
+            angles, plateaus = [], []
+            for rho in fields:
+                fit = fit_shock_angle(rho, wedge)
+                angles.append(float(fit.angle_deg))
+                plateaus.append(float(post_shock_plateau(rho, wedge, fit)))
+            mach = config.freestream.mach
+            _report(
+                "shock angle", angles,
+                theory.shock_angle_deg(mach, wedge.angle_deg),
+            )
+            _report(
+                "density ratio", plateaus,
+                theory.oblique_shock_density_ratio(
+                    mach, math.radians(wedge.angle_deg)
+                ),
+            )
+        except ReproError as exc:
+            print(
+                f"shock metrology unavailable ({exc}); increase "
+                "--density, --transient or --average"
+            )
+        ramps = engine.ramp_pressure_ratios()
+        if ramps is not None:
+            from repro.core.surface import (
+                oblique_shock_surface_pressure_ratio,
+            )
+
+            _report(
+                "ramp pressure", ramps,
+                oblique_shock_surface_pressure_ratio(
+                    config.freestream.mach, wedge.angle_deg,
+                    config.freestream.gamma,
+                ),
+            )
+    else:
+        _report("peak compression",
+                [float(rho.max()) for rho in fields], None)
+    if args.contours:
+        from repro.analysis.contour import render_ascii
+
+        print(render_ascii(np.mean(fields, axis=0)))
+    if args.save:
+        from repro.analysis.contour import save_field_npz
+
+        save_field_npz(args.save, density_ratio=np.mean(fields, axis=0))
+        print(f"ensemble-mean field written to {args.save}")
+    return 0
+
+
 def _run_3d(spec, overrides, args: argparse.Namespace) -> int:
     """Run a 3-D scenario on the plain serial driver."""
     from repro.errors import ConfigurationError
@@ -526,8 +672,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         return 2
     spec = get(args.scenario)  # unknown name -> ConfigurationError + list
+    if args.replicas is not None and args.replicas < 1:
+        print("--replicas must be >= 1", file=sys.stderr)
+        return 2
     if args.validate:
-        report = validate_scenario(spec)
+        report = validate_scenario(
+            spec, ensemble=args.replicas, confidence=args.confidence
+        )
         print(report.to_text())
         return 0 if report.ok else 1
 
@@ -551,6 +702,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # even for very short runs.
         overrides["transient"] = 0
         overrides["average"] = args.steps
+    if args.replicas is not None:
+        if spec.is_3d:
+            print(
+                f"--replicas does not support 3-D scenario "
+                f"{spec.name!r} yet",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_ensemble(spec, overrides, args)
     if spec.is_3d:
         return _run_3d(spec, overrides, args)
     if args.resume:
@@ -764,6 +924,43 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if final["state"] == "DONE" else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    overrides = {
+        k: v
+        for k, v in (
+            ("nx", args.nx),
+            ("ny", args.ny),
+            ("angle", args.angle),
+            ("density", args.density),
+            ("transient", args.transient),
+            ("average", args.average),
+        )
+        if v is not None
+    }
+    if args.steps is not None:
+        overrides["transient"] = 0
+        overrides["average"] = args.steps
+    out = client.sweep(
+        scenario=args.scenario,
+        mach=args.mach,
+        kn=args.kn,
+        seeds=args.seeds,
+        overrides=overrides,
+        deadline=args.deadline,
+    )
+    for job in out["jobs"]:
+        point = " ".join(
+            f"{axis}={job[axis]}"
+            for axis in ("mach", "kn", "seed")
+            if job.get(axis) is not None
+        )
+        cached = " (cached)" if job.get("cached") else ""
+        print(f"{job['job_id']} {job['state']}{cached}  {point}")
+    print(f"{out['count']} job(s) submitted")
+    return 0
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     client = _service_client(args)
     if args.job_id is None:
@@ -841,6 +1038,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "info": _cmd_info,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
+        "sweep": _cmd_sweep,
         "status": _cmd_status,
         "cancel": _cmd_cancel,
         "fetch": _cmd_fetch,

@@ -155,8 +155,9 @@ def reflection_pairs(
     order: np.ndarray,
     counts: np.ndarray,
     offsets: np.ndarray,
-    rng: np.random.Generator,
+    rng: np.random.Generator = None,
     scratch=None,
+    s: np.ndarray = None,
 ) -> ReflectionPairs:
     """Randomized same-cell pairing over a canonical indexed order.
 
@@ -180,11 +181,24 @@ def reflection_pairs(
     Returns particle-row pairs gathered through ``order``; ``scratch``
     backs the returned arrays (transient intermediates are fine -- the
     retained-memory guarantee is what the perf guard enforces).
+
+    Two generalizations serve the replica-batched ensemble engine:
+    ``s`` accepts externally drawn reflection offsets (one per cell;
+    the ensemble packs per-replica draws into one array so pairing
+    never straddles replica blocks), and ``order=None`` declares that
+    slot addresses *are* particle rows (the population is physically
+    cell-sorted), skipping the two gather passes.
     """
     n_cells = counts.shape[0]
-    # One bounded draw per cell, including empty ones: deterministic
-    # stream consumption given counts.
-    s = rng.integers(0, np.maximum(counts, 1))
+    if s is None:
+        # One bounded draw per cell, including empty ones: deterministic
+        # stream consumption given counts.
+        s = rng.integers(0, np.maximum(counts, 1))
+    elif s.shape[0] != n_cells:
+        raise ValueError(
+            f"external reflection draws must be per-cell: got {s.shape[0]} "
+            f"draws for {n_cells} cells"
+        )
     pair_counts = counts >> 1
     n_pairs = int(pair_counts.sum())
     if scratch is not None:
@@ -230,8 +244,13 @@ def reflection_pairs(
     base = offsets[pair_cell]
     a_loc += base
     b_loc += base
-    np.take(order, a_loc, out=first, mode="clip")
-    np.take(order, b_loc, out=second, mode="clip")
+    if order is None:
+        # Physically sorted population: slots are rows.
+        first[:] = a_loc
+        second[:] = b_loc
+    else:
+        np.take(order, a_loc, out=first, mode="clip")
+        np.take(order, b_loc, out=second, mode="clip")
     return ReflectionPairs(first=first, second=second, cell=pair_cell)
 
 

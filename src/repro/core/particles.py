@@ -523,6 +523,107 @@ class ParticleArrays:
         if self.order_listener is not None:
             self.order_listener.on_append(n, m)
 
+    # -- replica-blocked surgery (the ensemble engine) --------------------
+
+    def remove_blocked_inplace(
+        self, remove_mask: np.ndarray, starts: np.ndarray
+    ) -> np.ndarray:
+        """Blocked variant of :meth:`remove_inplace` for ensemble state.
+
+        ``starts`` holds the replica block boundaries (length R+1,
+        ``starts[-1] == n``).  Every block is treated exactly as
+        :meth:`remove_inplace` treats a solo population -- holes below
+        the block's new length are backfilled from the block's own tail
+        in the same source order -- so block ``r``'s surviving rows are
+        bitwise identical to a solo removal on that block.  The
+        shortened blocks are then re-packed contiguously into the back
+        buffers (blocks stay adjacent, order preserved) and the buffer
+        sets swapped.  Returns the new ``starts`` array.
+        """
+        if self._front is None:
+            raise ConfigurationError(
+                "remove_blocked_inplace requires enable_scratch"
+            )
+        n = self.n
+        if remove_mask.shape != (n,):
+            raise ConfigurationError(
+                "remove_mask must have one entry per particle"
+            )
+        if int(starts[-1]) != n:
+            raise ConfigurationError("starts[-1] must equal the population")
+        if self.order_listener is not None:
+            self.order_listener.on_invalidate()
+        n_blocks = starts.shape[0] - 1
+        new_starts = np.empty_like(np.asarray(starts, dtype=np.int64))
+        new_starts[0] = 0
+        for r in range(n_blocks):
+            b0, b1 = int(starts[r]), int(starts[r + 1])
+            gone = np.flatnonzero(remove_mask[b0:b1])
+            n_new = (b1 - b0) - gone.shape[0]
+            if gone.shape[0]:
+                holes = gone[gone < n_new]
+                src = n_new + np.flatnonzero(~remove_mask[b0 + n_new : b1])
+                for name in COLUMN_NAMES:
+                    col = self._front[name]
+                    col[b0 + holes] = col[b0 + src]
+            new_starts[r + 1] = new_starts[r] + n_new
+        n_total = int(new_starts[-1])
+        for name in COLUMN_NAMES:
+            src_buf = self._front[name]
+            dst_buf = self._back[name]
+            for r in range(n_blocks):
+                b0 = int(starts[r])
+                d0, d1 = int(new_starts[r]), int(new_starts[r + 1])
+                dst_buf[d0:d1] = src_buf[b0 : b0 + (d1 - d0)]
+        self._swap_to_back(n_total)
+        return new_starts
+
+    def append_blocked_inplace(self, others, starts: np.ndarray) -> np.ndarray:
+        """Blocked variant of :meth:`append_inplace` for ensemble state.
+
+        ``others`` is one population per block (possibly empty); block
+        ``r`` becomes its current rows followed by ``others[r]``'s rows,
+        exactly as a solo :meth:`append_inplace` would place them.
+        Rebuilds the blocked layout in the back buffers and swaps.
+        Returns the new ``starts`` array.
+        """
+        if self._front is None:
+            raise ConfigurationError(
+                "append_blocked_inplace requires enable_scratch"
+            )
+        n = self.n
+        if int(starts[-1]) != n:
+            raise ConfigurationError("starts[-1] must equal the population")
+        n_blocks = starts.shape[0] - 1
+        if len(others) != n_blocks:
+            raise ConfigurationError("one appended population per block")
+        for o in others:
+            if o.rotational_dof != self.rotational_dof:
+                raise ConfigurationError("rotational dof mismatch")
+        if self.order_listener is not None:
+            self.order_listener.on_invalidate()
+        new_starts = np.empty_like(np.asarray(starts, dtype=np.int64))
+        new_starts[0] = 0
+        for r in range(n_blocks):
+            block = int(starts[r + 1]) - int(starts[r])
+            new_starts[r + 1] = new_starts[r] + block + others[r].n
+        n_total = int(new_starts[-1])
+        self._ensure_capacity(n_total)
+        for name in COLUMN_NAMES:
+            src_buf = self._front[name]
+            dst_buf = self._back[name]
+            for r in range(n_blocks):
+                b0, b1 = int(starts[r]), int(starts[r + 1])
+                d0 = int(new_starts[r])
+                dst_buf[d0 : d0 + (b1 - b0)] = src_buf[b0:b1]
+                m = others[r].n
+                if m:
+                    dst_buf[d0 + (b1 - b0) : d0 + (b1 - b0) + m] = getattr(
+                        others[r], name
+                    )
+        self._swap_to_back(n_total)
+        return new_starts
+
     # -- migration pack/unpack (the sharded exchange) ---------------------
 
     def pack_rows(

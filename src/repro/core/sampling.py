@@ -16,7 +16,9 @@ reproduce both behaviours for the figure benches.
 
 from __future__ import annotations
 
-from typing import Optional
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -162,3 +164,193 @@ class CellSampler:
         else:
             n_open = self.domain.n_cells
         return float(self._count.sum() / self._steps / max(n_open, 1))
+
+
+#: Accumulator attribute names shared by :class:`CellSampler` and
+#: :class:`EnsembleSampler` (one flat float64 array each).
+SAMPLER_FIELDS = ("_count", "_mu", "_mv", "_mw", "_e_trans", "_e_rot")
+
+
+class EnsembleSampler:
+    """Per-replica cell moments over a replica-blocked population.
+
+    The ensemble engine steps R replicas as one wide population; this
+    sampler keeps R independent sets of :class:`CellSampler`
+    accumulators in flat ``R * n_cells`` arrays and fills all of them
+    with *one* ``np.bincount`` per moment, keyed by the composite
+    ``block * n_cells + cell`` index the engine's sort already uses.
+
+    Bitwise contract: within a replica block the particles appear in
+    the same relative order as in a solo run, and ``np.bincount`` sums
+    each bin's weights in input order, so slicing replica ``r``'s
+    accumulators out (:meth:`replica`) yields float-for-float what a
+    solo :class:`CellSampler` would have accumulated.
+    """
+
+    def __init__(
+        self,
+        domain: Domain,
+        n_replicas: int,
+        volume_fractions: Optional[np.ndarray] = None,
+    ) -> None:
+        if n_replicas < 1:
+            raise ConfigurationError("n_replicas must be >= 1")
+        self.domain = domain
+        self.n_replicas = int(n_replicas)
+        if volume_fractions is not None:
+            volume_fractions = np.asarray(volume_fractions, dtype=np.float64)
+            if volume_fractions.shape != domain.shape:
+                raise ConfigurationError(
+                    f"volume_fractions must be {domain.shape}"
+                )
+        self.volume_fractions = volume_fractions
+        m = domain.n_cells * self.n_replicas
+        for name in SAMPLER_FIELDS:
+            setattr(self, name, np.zeros(m))
+        self._steps = 0
+
+    @property
+    def steps(self) -> int:
+        return self._steps
+
+    def accumulate(self, particles: ParticleArrays, key: np.ndarray) -> None:
+        """Add one snapshot, keyed by the composite replica-cell index.
+
+        ``key`` is ``block_position * n_cells + cell`` per particle
+        (see :func:`repro.core.sortstep.blocked_cell_key`).
+        """
+        m = self.domain.n_cells * self.n_replicas
+        if key.shape[0] != particles.n:
+            raise ConfigurationError("key must have one entry per particle")
+        if key.size and (key.min() < 0 or key.max() >= m):
+            raise ConfigurationError("composite cell key out of range")
+        self._count += np.bincount(key, minlength=m)
+        self._mu += np.bincount(key, weights=particles.u, minlength=m)
+        self._mv += np.bincount(key, weights=particles.v, minlength=m)
+        self._mw += np.bincount(key, weights=particles.w, minlength=m)
+        csq = particles.u**2 + particles.v**2 + particles.w**2
+        self._e_trans += np.bincount(key, weights=csq, minlength=m)
+        if particles.rot.size:
+            rsq = (particles.rot**2).sum(axis=1)
+            self._e_rot += np.bincount(key, weights=rsq, minlength=m)
+        self._steps += 1
+
+    def reset(self) -> None:
+        """Discard accumulated statistics (e.g. at end of transient)."""
+        for name in SAMPLER_FIELDS:
+            getattr(self, name)[:] = 0.0
+        self._steps = 0
+
+    def replica(self, r: int) -> CellSampler:
+        """Replica ``r``'s accumulators as a standalone CellSampler."""
+        if not 0 <= r < self.n_replicas:
+            raise ConfigurationError(
+                f"replica index {r} out of range [0, {self.n_replicas})"
+            )
+        cs = CellSampler(self.domain, self.volume_fractions)
+        n = self.domain.n_cells
+        sl = slice(r * n, (r + 1) * n)
+        for name in SAMPLER_FIELDS:
+            getattr(cs, name)[:] = getattr(self, name)[sl]
+        cs._steps = self._steps
+        return cs
+
+    def samplers(self) -> list:
+        """One CellSampler per replica, in block order."""
+        return [self.replica(r) for r in range(self.n_replicas)]
+
+
+# -- ensemble statistics ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EnsembleStatistic:
+    """Mean, standard error and t-confidence interval of replica values.
+
+    ``n == 1`` carries no interval information: ``stderr`` is ``inf``
+    and the interval is the whole real line (callers gating on
+    :meth:`contains` should require ``n >= 2``).
+    """
+
+    mean: float
+    stderr: float
+    lo: float
+    hi: float
+    n: int
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the confidence interval."""
+        return self.lo <= value <= self.hi
+
+    def __str__(self) -> str:
+        half = 0.5 * (self.hi - self.lo)
+        return (
+            f"{self.mean:.6g} +/- {half:.3g} "
+            f"({100 * self.confidence:g}% CI, n={self.n})"
+        )
+
+
+def _t_critical(df: int, confidence: float) -> float:
+    """Two-sided Student-t critical value (scipy, normal fallback)."""
+    q = 0.5 + confidence / 2.0
+    try:
+        from scipy import stats
+
+        return float(stats.t.ppf(q, df))
+    except ImportError:  # pragma: no cover - scipy is a declared dep
+        # Normal-quantile fallback (Acklam-style rational approximation
+        # is overkill here; the inverse error function via math suffices
+        # for the common confidence levels).
+        # For small df this *underestimates* the interval width.
+        return math.sqrt(2.0) * _erfinv(2.0 * q - 1.0)
+
+
+def _erfinv(y: float) -> float:  # pragma: no cover - fallback only
+    """Inverse error function by bisection (fallback path only)."""
+    lo, hi = -10.0, 10.0
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if math.erf(mid) < y:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def ensemble_statistic(
+    values: Sequence[float], confidence: float = 0.95
+) -> EnsembleStatistic:
+    """Summarize one scalar measure across ensemble replicas.
+
+    Replicas are independent by construction (disjoint Philox counter
+    blocks), so the standard small-sample machinery applies: mean,
+    standard error ``s / sqrt(n)`` (``ddof=1``), and the two-sided
+    Student-t interval at the requested confidence.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must be in (0, 1)")
+    vals = np.asarray(values, dtype=np.float64).ravel()
+    n = int(vals.size)
+    if n == 0:
+        raise ConfigurationError("no replica values to summarize")
+    mean = float(vals.mean())
+    if n == 1:
+        return EnsembleStatistic(
+            mean=mean,
+            stderr=float("inf"),
+            lo=float("-inf"),
+            hi=float("inf"),
+            n=1,
+            confidence=confidence,
+        )
+    stderr = float(vals.std(ddof=1) / math.sqrt(n))
+    half = _t_critical(n - 1, confidence) * stderr
+    return EnsembleStatistic(
+        mean=mean,
+        stderr=stderr,
+        lo=mean - half,
+        hi=mean + half,
+        n=n,
+        confidence=confidence,
+    )

@@ -115,6 +115,27 @@ def pair_relative_speed(
     return np.sqrt(du, out=du)
 
 
+def density_lookup_table(
+    cell_counts: np.ndarray,
+    volume_fractions: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-cell density table for the selection rule's pair gather.
+
+    Divides the cell populations by the (floored) open volume fraction
+    -- the cut-cell allowance of eq. (7)/(8).  Shared by the solo fused
+    kernel and the ensemble engine, whose table spans ``R * n_cells``
+    composite cells (counts and fractions tiled per replica block).
+    """
+    counts = np.asarray(cell_counts, dtype=np.float64)
+    if volume_fractions is not None:
+        vf = np.maximum(
+            np.asarray(volume_fractions, dtype=np.float64),
+            MIN_VOLUME_FRACTION,
+        )
+        return counts / vf
+    return counts
+
+
 def collision_probabilities(
     particles: ParticleArrays,
     pairs: CandidatePairs,
@@ -157,13 +178,7 @@ def collision_probabilities(
 
     # Per-cell density table first (n_cells entries), then one gather
     # per pair -- not a division per pair.
-    counts = np.asarray(cell_counts, dtype=np.float64)
-    if volume_fractions is not None:
-        vf = np.maximum(np.asarray(volume_fractions, dtype=np.float64),
-                        MIN_VOLUME_FRACTION)
-        density_table = counts / vf
-    else:
-        density_table = counts
+    density_table = density_lookup_table(cell_counts, volume_fractions)
     scratch = particles.scratch
     if scratch is not None:
         # mode="clip": cell indices are clipped into range upstream
@@ -309,15 +324,7 @@ def fused_select_collide(
         # The lambda -> 0 validation limit: every candidate collides.
         prob[:n_pairs] = 1.0
     else:
-        counts = np.asarray(cell_counts, dtype=np.float64)
-        if volume_fractions is not None:
-            vf = np.maximum(
-                np.asarray(volume_fractions, dtype=np.float64),
-                MIN_VOLUME_FRACTION,
-            )
-            density_table = counts / vf
-        else:
-            density_table = counts
+        density_table = density_lookup_table(cell_counts, volume_fractions)
         np.take(density_table, rpairs.cell, out=prob, mode="clip")
         prob *= freestream.collision_probability / freestream.density
         if needs_speed:

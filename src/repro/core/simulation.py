@@ -51,6 +51,65 @@ from repro.rng import SeedLike, make_rng
 SEED_REJECTION_PASSES = 64
 
 
+def seed_flow_particles(
+    config: "SimulationConfig",
+    rng: np.random.Generator,
+    volume_fractions: Optional[np.ndarray] = None,
+) -> ParticleArrays:
+    """Fill the open region at freestream density (rejection sample).
+
+    The seeding recipe shared by :class:`Simulation` and the ensemble
+    engine (:mod:`repro.ensemble`): the draw order is part of the
+    determinism contract -- velocities, rotational state, positions,
+    permutation table, then the wedge rejection re-draws -- so a given
+    ``rng`` state always yields the same population bitwise.
+
+    ``volume_fractions`` is the (flattened or gridded) open-area field;
+    derived from the config when omitted.
+    """
+    if volume_fractions is None:
+        if config.wedge is not None:
+            volume_fractions = config.wedge.open_volume_fractions(
+                config.domain
+            )
+        else:
+            volume_fractions = np.ones(config.domain.shape)
+    open_area = float(np.asarray(volume_fractions).sum())
+    n_target = int(round(config.freestream.density * open_area))
+    parts = ParticleArrays.from_freestream(
+        rng,
+        n_target,
+        config.freestream,
+        x_range=(0.0, config.domain.width),
+        y_range=(0.0, config.domain.height),
+        rotational_dof=config.model.rotational_dof,
+    )
+    if config.wedge is None:
+        return parts
+    # Rejection passes: re-draw positions of particles that landed
+    # inside the wedge until none remain (area ratio ~0.97 per pass).
+    for _ in range(SEED_REJECTION_PASSES):
+        bad = config.wedge.inside(parts.x, parts.y)
+        n_bad = int(np.count_nonzero(bad))
+        if n_bad == 0:
+            break
+        parts.x[bad] = rng.uniform(0.0, config.domain.width, size=n_bad)
+        parts.y[bad] = rng.uniform(0.0, config.domain.height, size=n_bad)
+    # Never hand back a population with particles embedded in the
+    # solid: a run started from such a state silently corrupts the
+    # early flow field (phantom wedge-interior collisions and bogus
+    # surface loads).
+    n_bad = int(np.count_nonzero(config.wedge.inside(parts.x, parts.y)))
+    if n_bad:
+        raise ConfigurationError(
+            f"flow seeding failed to converge: {n_bad} particles "
+            f"remain inside the wedge after {SEED_REJECTION_PASSES} "
+            "rejection passes (is the open area a vanishing "
+            "fraction of the domain?)"
+        )
+    return parts
+
+
 @dataclass(frozen=True)
 class SimulationConfig:
     """Everything needed to define a wind-tunnel run.
@@ -499,41 +558,7 @@ class Simulation:
 
     def _seed_flow(self) -> ParticleArrays:
         """Fill the open region at freestream density (rejection sample)."""
-        cfg = self.config
-        open_area = float(self._vf_flat.sum())
-        n_target = int(round(cfg.freestream.density * open_area))
-        parts = ParticleArrays.from_freestream(
-            self.rng,
-            n_target,
-            cfg.freestream,
-            x_range=(0.0, cfg.domain.width),
-            y_range=(0.0, cfg.domain.height),
-            rotational_dof=cfg.model.rotational_dof,
-        )
-        if cfg.wedge is None:
-            return parts
-        # Rejection passes: re-draw positions of particles that landed
-        # inside the wedge until none remain (area ratio ~0.97 per pass).
-        for _ in range(SEED_REJECTION_PASSES):
-            bad = cfg.wedge.inside(parts.x, parts.y)
-            n_bad = int(np.count_nonzero(bad))
-            if n_bad == 0:
-                break
-            parts.x[bad] = self.rng.uniform(0.0, cfg.domain.width, size=n_bad)
-            parts.y[bad] = self.rng.uniform(0.0, cfg.domain.height, size=n_bad)
-        # Never hand back a population with particles embedded in the
-        # solid: a run started from such a state silently corrupts the
-        # early flow field (phantom wedge-interior collisions and bogus
-        # surface loads).
-        n_bad = int(np.count_nonzero(cfg.wedge.inside(parts.x, parts.y)))
-        if n_bad:
-            raise ConfigurationError(
-                f"flow seeding failed to converge: {n_bad} particles "
-                f"remain inside the wedge after {SEED_REJECTION_PASSES} "
-                "rejection passes (is the open area a vanishing "
-                "fraction of the domain?)"
-            )
-        return parts
+        return seed_flow_particles(self.config, self.rng, self._vf_flat)
 
     # -- stepping -----------------------------------------------------------
 

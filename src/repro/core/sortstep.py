@@ -144,6 +144,33 @@ def counting_sort_order(
     return order
 
 
+def blocked_cell_key(
+    cell: np.ndarray,
+    starts: np.ndarray,
+    n_cells: int,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Composite replica-blocked sort key: ``cell + block * n_cells``.
+
+    The ensemble engine sorts R replica blocks as one population by
+    lifting the cell index into a key whose high digit is the *block
+    position* (not the replica id -- position keeps the key dense in
+    ``[0, R * n_cells)`` so the narrow radix path applies whenever
+    ``R * n_cells <= NARROW_KEY_LIMIT + 1``).  A stable sort of this key
+    can never move a particle across its replica block, and within a
+    block it is exactly the solo stable cell sort -- the property the
+    bitwise replica-equality contract rests on.
+    """
+    n = cell.shape[0]
+    if int(starts[-1]) != n:
+        raise ConfigurationError("starts[-1] must equal the population")
+    key = out if out is not None else np.empty(n, dtype=np.int64)
+    for r in range(starts.shape[0] - 1):
+        b0, b1 = int(starts[r]), int(starts[r + 1])
+        np.add(cell[b0:b1], r * n_cells, out=key[b0:b1])
+    return key
+
+
 def sort_by_cell(
     particles: ParticleArrays,
     rng: Optional[np.random.Generator] = None,

@@ -1,0 +1,819 @@
+"""The replica-batched ensemble engine.
+
+DSMC answers are noisy: one run yields a point estimate with no error
+bar.  The classical remedy -- run R independent seeds and average --
+multiplies wall-clock by R when executed sequentially, yet at the
+30k-particle scales where ensemble statistics matter most, each solo
+step is dominated by per-kernel dispatch overhead, not arithmetic.
+This engine therefore steps all R replicas as **one wide population**:
+every hot kernel (motion, boundary scans, the counting sort, pairing,
+selection, collision) runs once over ``sum(N_r)`` rows instead of R
+times over ``N_r`` rows.
+
+**Layout.**  Replica-packed rows, physically blocked by replica at all
+times: replica ``r`` owns the contiguous row range
+``starts[r]:starts[r+1]``.  The per-step sort key is the composite
+``block * n_cells + cell`` (:func:`repro.core.sortstep.blocked_cell_key`)
+-- replica above cell in sort-key significance -- so a stable sort can
+never move a particle across its block and pairing never straddles
+replicas.  Block *position* (not replica id) keeps the key dense, so
+NumPy's 16-bit radix path still applies up to
+``R * n_cells <= 65536`` keys.
+
+**Determinism contract.**  All randomness comes from counter-keyed
+Philox streams ``shard_stream(seed, 0, step, replica=rid)`` -- a pure
+function of the key, never advanced across steps.  Within a step every
+replica's draws happen in a fixed order (boundary deposits/refills,
+pairing offsets, acceptance, collision signs, transpositions,
+reservoir mix) from its own stream, and all batched arithmetic is
+elementwise or block-local, so replica ``r`` of a batched run is
+**bitwise identical** to a solo engine run (``R = 1``) keyed for
+``r`` -- asserted by :func:`verify_replica_equality` and pinned in CI.
+
+Engine restrictions (enforced at construction): specular walls only
+(the other wall models draw per-crossing RNG inside full-population
+kernels, which would entangle replicas) and
+``internal_exchange_probability == 1.0`` (the relaxation knob draws
+inside the collision kernel in non-blocked order).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import motion
+from repro.core.boundary import (
+    MAX_REFLECTION_PASSES,
+    BoundaryStats,
+    WindTunnelBoundaries,
+)
+from repro.core.cells import assign_cells
+from repro.core.collision import collide_rows_with_velocities
+from repro.core.pairing import reflection_pairs
+from repro.core.particles import COLUMN_NAMES, ParticleArrays
+from repro.core.reservoir import Reservoir
+from repro.core.sampling import (
+    SAMPLER_FIELDS,
+    EnsembleSampler,
+    EnsembleStatistic,
+    ensemble_statistic,
+)
+from repro.core.selection import density_lookup_table
+from repro.core.simulation import SimulationConfig, seed_flow_particles
+from repro.core.sortstep import blocked_cell_key, counting_sort_order
+from repro.errors import ConfigurationError, ValidationError
+from repro.geometry.wedge import Wedge
+from repro.perf import PerfLedger
+from repro.rng import random_signs, shard_stream
+
+
+@dataclass(frozen=True)
+class EnsembleStepDiagnostics:
+    """Per-step observability for one ensemble step.
+
+    Per-replica tuples are ordered like ``replica_ids``; aggregate
+    values sum over replicas.
+    """
+
+    step: int
+    n_flow: Tuple[int, ...]
+    n_reservoir: Tuple[int, ...]
+    n_candidates: int
+    n_collisions: Tuple[int, ...]
+    mean_collision_probability: float
+    boundary: BoundaryStats
+    total_energy: float
+
+    @property
+    def n_flow_total(self) -> int:
+        return int(sum(self.n_flow))
+
+    @property
+    def n_collisions_total(self) -> int:
+        return int(sum(self.n_collisions))
+
+
+class EnsembleEngine:
+    """Step R replicas of one configuration as a single wide state.
+
+    Parameters
+    ----------
+    config:
+        The shared :class:`repro.core.simulation.SimulationConfig`.
+        ``config.seed`` must be stateless (int / SeedSequence / None):
+        every stream is re-derived per ``(seed, replica, step)`` key.
+    n_replicas:
+        Ensemble width R (replica ids ``0..R-1``).
+    replica_ids:
+        Explicit replica ids instead of ``range(R)`` -- the equality
+        checker builds solo engines as ``replica_ids=[r]``.
+    metrics:
+        Optional :class:`repro.telemetry.metrics.MetricsRegistry`;
+        each step publishes per-replica and aggregate gauges.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        n_replicas: Optional[int] = None,
+        replica_ids: Optional[Sequence[int]] = None,
+        metrics=None,
+    ) -> None:
+        if replica_ids is None:
+            if n_replicas is None:
+                raise ConfigurationError(
+                    "EnsembleEngine needs n_replicas or replica_ids"
+                )
+            replica_ids = tuple(range(int(n_replicas)))
+        else:
+            replica_ids = tuple(int(r) for r in replica_ids)
+            if n_replicas is not None and int(n_replicas) != len(replica_ids):
+                raise ConfigurationError(
+                    "n_replicas disagrees with len(replica_ids)"
+                )
+        self._init_static(config, replica_ids, metrics)
+
+        # Seed each replica from its own step-0 keyed stream: initial
+        # flow, then the reservoir deposit -- the same draw order a solo
+        # engine uses, which is what makes restored/solo/batched
+        # populations interchangeable.
+        blocks: List[ParticleArrays] = []
+        self.reservoirs = []
+        for rid in self.replica_ids:
+            rng = shard_stream(config.seed, 0, 0, replica=rid)
+            parts_r = seed_flow_particles(config, rng, self._vf_flat)
+            res = Reservoir(
+                config.freestream,
+                rotational_dof=config.model.rotational_dof,
+            )
+            res.deposit(
+                rng, int(round(config.reservoir_fraction * parts_r.n))
+            )
+            res.particles.enable_scratch()
+            blocks.append(parts_r)
+            self.reservoirs.append(res)
+        parts = (
+            blocks[0]
+            if len(blocks) == 1
+            else functools.reduce(ParticleArrays.concatenate, blocks)
+        )
+        self.starts = np.zeros(self.n_replicas + 1, dtype=np.int64)
+        np.cumsum([b.n for b in blocks], out=self.starts[1:])
+        parts.enable_scratch()
+        assign_cells(parts, config.domain)
+        self.particles = parts
+        self.sampler = EnsembleSampler(
+            config.domain, self.n_replicas, self.volume_fractions
+        )
+        if isinstance(config.wedge, Wedge):
+            from repro.core.surface import SurfaceSampler
+
+            self.surfaces = [
+                SurfaceSampler(config.wedge) for _ in self.replica_ids
+            ]
+        else:
+            self.surfaces = None
+        self.step_count = 0
+
+    @classmethod
+    def _restore_shell(
+        cls, config: SimulationConfig, replica_ids: Sequence[int]
+    ) -> "EnsembleEngine":
+        """Build an engine without seeding (checkpoint restore path).
+
+        The caller (:func:`repro.io.snapshots.load_ensemble`) fills in
+        the particle blocks, reservoirs, sampler and surface
+        accumulators, ``starts`` and ``step_count`` from the archive;
+        because every stream is a pure function of
+        ``(seed, replica, step)``, no RNG state needs restoring and
+        continuation is bitwise.
+        """
+        eng = cls.__new__(cls)
+        eng._init_static(
+            config, tuple(int(r) for r in replica_ids), None
+        )
+        return eng
+
+    def _init_static(self, config, replica_ids, metrics) -> None:
+        """Validate the configuration and build the stateless pieces."""
+        if not replica_ids:
+            raise ConfigurationError("ensemble needs at least one replica")
+        if len(set(replica_ids)) != len(replica_ids):
+            raise ConfigurationError("replica ids must be distinct")
+        if any(r < 0 for r in replica_ids):
+            raise ConfigurationError("replica ids must be non-negative")
+        if isinstance(config.seed, np.random.Generator):
+            raise ConfigurationError(
+                "ensemble runs need a stateless seed (int or SeedSequence); "
+                "a live Generator cannot key per-replica streams"
+            )
+        if config.wall_model != "specular":
+            raise ConfigurationError(
+                "the ensemble engine supports specular walls only "
+                f"(got {config.wall_model!r}): other wall models draw "
+                "per-crossing RNG that would entangle replicas"
+            )
+        if config.model.internal_exchange_probability != 1.0:
+            raise ConfigurationError(
+                "the ensemble engine requires "
+                "internal_exchange_probability == 1.0 (the relaxation "
+                "knob draws RNG inside the collision kernel in "
+                "non-replica-blocked order)"
+            )
+        self.config = config
+        self.replica_ids = tuple(replica_ids)
+        self.n_replicas = len(self.replica_ids)
+        self.metrics = metrics
+        if config.wedge is not None:
+            self.volume_fractions = config.wedge.open_volume_fractions(
+                config.domain
+            )
+        else:
+            self.volume_fractions = np.ones(config.domain.shape)
+        self._vf_flat = self.volume_fractions.reshape(-1)
+        #: Volume fractions tiled per block: the composite density
+        #: table's divisor (replica blocks share the geometry).
+        self._vf_tiled = np.tile(self._vf_flat, self.n_replicas)
+        self.boundaries = WindTunnelBoundaries(
+            domain=config.domain,
+            freestream=config.freestream,
+            wedge=config.wedge,
+            plunger_trigger=config.plunger_trigger,
+            wall_model=config.wall_model,
+            accommodation=config.accommodation,
+        )
+        self.perf = PerfLedger()
+
+    # -- stepping ---------------------------------------------------------
+
+    def step(self, sample: bool = False) -> EnsembleStepDiagnostics:
+        """Advance every replica by one time step."""
+        cfg = self.config
+        parts = self.particles
+        n_cells = cfg.domain.n_cells
+        n_rep = self.n_replicas
+        perf = self.perf
+        step_id = self.step_count + 1
+        streams = [
+            shard_stream(cfg.seed, 0, step_id, replica=rid)
+            for rid in self.replica_ids
+        ]
+
+        # 1+2) Collisionless motion, then the replica-aware boundary
+        #    phase (may rebuild the blocked population).
+        with perf.phase("motion"):
+            motion.advance(parts)
+            bstats = self._apply_boundaries(streams, sample)
+
+        # 3a) Cell indexing + the blocked counting sort: one stable
+        #    sort of the composite key physically re-blocks the whole
+        #    ensemble, and one bincount yields all R histograms.
+        with perf.phase("sort"):
+            assign_cells(parts, cfg.domain)
+            key = parts.scratch.array("ens_key", parts.n, dtype=np.int64)
+            blocked_cell_key(parts.cell, self.starts, n_cells, out=key)
+            counts = np.bincount(key, minlength=n_rep * n_cells)
+            order = counting_sort_order(
+                key,
+                shuffle=False,
+                scratch=parts.scratch,
+                max_key=n_rep * n_cells - 1,
+            )
+            parts.reorder_inplace(order)
+        offsets = np.cumsum(counts) - counts
+
+        # 3b) Reflection pairing with externally packed per-replica
+        #    offset draws (one bounded draw per composite cell, from
+        #    each replica's own stream -- exactly the solo consumption).
+        with perf.phase("selection"):
+            s = parts.scratch.array(
+                "ens_refl_s", n_rep * n_cells, dtype=np.int64
+            )
+            hi = parts.scratch.array(
+                "ens_refl_hi", n_rep * n_cells, dtype=np.int64
+            )
+            np.maximum(counts, 1, out=hi)
+            for r, st in enumerate(streams):
+                blk = slice(r * n_cells, (r + 1) * n_cells)
+                s[blk] = st.integers(0, hi[blk])
+            rpairs = reflection_pairs(
+                None, counts, offsets, s=s, scratch=parts.scratch
+            )
+            n_pairs = rpairs.n_pairs
+
+            # Pair index ranges per replica (pairing is block-local, so
+            # pairs inherit the blocked layout).
+            pair_starts = np.zeros(n_rep + 1, dtype=np.int64)
+            np.cumsum(
+                (counts >> 1).reshape(n_rep, n_cells).sum(axis=1),
+                out=pair_starts[1:],
+            )
+
+            # Selection rule over the composite density table.
+            def buf(name, dtype=np.float64, n=n_pairs):
+                return parts.scratch.array(name, n, dtype=dtype)
+
+            needs_speed = (
+                not cfg.freestream.is_near_continuum
+                and cfg.model.speed_exponent != 0.0
+            )
+            if needs_speed:
+                u0, u1 = buf("ens_u0"), buf("ens_u1")
+                v0, v1 = buf("ens_v0"), buf("ens_v1")
+                w0, w1 = buf("ens_w0"), buf("ens_w1")
+                np.take(parts.u, rpairs.first, out=u0, mode="clip")
+                np.take(parts.u, rpairs.second, out=u1, mode="clip")
+                np.take(parts.v, rpairs.first, out=v0, mode="clip")
+                np.take(parts.v, rpairs.second, out=v1, mode="clip")
+                np.take(parts.w, rpairs.first, out=w0, mode="clip")
+                np.take(parts.w, rpairs.second, out=w1, mode="clip")
+
+            prob = buf("ens_prob")
+            if cfg.freestream.is_near_continuum:
+                prob[:n_pairs] = 1.0
+            else:
+                table = density_lookup_table(counts, self._vf_tiled)
+                np.take(table, rpairs.cell, out=prob, mode="clip")
+                prob *= (
+                    cfg.freestream.collision_probability
+                    / cfg.freestream.density
+                )
+                if needs_speed:
+                    du, dv, dw = buf("ens_du"), buf("ens_dv"), buf("ens_dw")
+                    np.subtract(u0, u1, out=du)
+                    np.subtract(v0, v1, out=dv)
+                    np.subtract(w0, w1, out=dw)
+                    du *= du
+                    dv *= dv
+                    dw *= dw
+                    du += dv
+                    du += dw
+                    g = np.sqrt(du, out=du)
+                    g_ref = np.sqrt(2.0) * cfg.freestream.mean_speed
+                    prob *= cfg.model.speed_factor(g, g_ref)
+                np.minimum(prob, 1.0, out=prob)
+
+            # Acceptance draws, packed contiguously per replica block.
+            draws = buf("ens_draws")
+            for r, st in enumerate(streams):
+                p0, p1 = int(pair_starts[r]), int(pair_starts[r + 1])
+                if p1 > p0:
+                    st.random(out=draws[p0:p1])
+            accept = buf("ens_accept", dtype=bool)
+            np.less(draws, prob, out=accept)
+            probability_sum = float(prob.sum())
+            accepted = np.flatnonzero(accept)
+            n_acc = accepted.shape[0]
+            # Accepted pair counts per replica: accepted pair indices
+            # are ascending, so block boundaries are a searchsorted.
+            acc_edges = np.searchsorted(accepted, pair_starts)
+
+        # 4) Collision of the accepted pairs: signs and transpositions
+        #    are drawn per replica and packed so one kernel call
+        #    reproduces each replica's solo draws exactly (the packed
+        #    transpositions keep the kernel's first-partners-then-
+        #    second-partners split).
+        with perf.phase("collision"):
+            a_rows = buf("ens_arows", dtype=np.intp, n=n_acc)
+            b_rows = buf("ens_brows", dtype=np.intp, n=n_acc)
+            np.take(rpairs.first, accepted, out=a_rows, mode="clip")
+            np.take(rpairs.second, accepted, out=b_rows, mode="clip")
+            au0, au1 = buf("ens_au0", n=n_acc), buf("ens_au1", n=n_acc)
+            av0, av1 = buf("ens_av0", n=n_acc), buf("ens_av1", n=n_acc)
+            aw0, aw1 = buf("ens_aw0", n=n_acc), buf("ens_aw1", n=n_acc)
+            if needs_speed:
+                np.take(u0, accepted, out=au0, mode="clip")
+                np.take(u1, accepted, out=au1, mode="clip")
+                np.take(v0, accepted, out=av0, mode="clip")
+                np.take(v1, accepted, out=av1, mode="clip")
+                np.take(w0, accepted, out=aw0, mode="clip")
+                np.take(w1, accepted, out=aw1, mode="clip")
+            else:
+                np.take(parts.u, a_rows, out=au0, mode="clip")
+                np.take(parts.u, b_rows, out=au1, mode="clip")
+                np.take(parts.v, a_rows, out=av0, mode="clip")
+                np.take(parts.v, b_rows, out=av1, mode="clip")
+                np.take(parts.w, a_rows, out=aw0, mode="clip")
+                np.take(parts.w, b_rows, out=aw1, mode="clip")
+
+            k = 3 + parts.rotational_dof
+            signs = parts.scratch.array(
+                "ens_signs", n_acc, dtype=np.int8, width=k
+            )
+            transp = parts.scratch.array(
+                "ens_transp", 2 * n_acc, dtype=np.int64
+            )
+            for r, st in enumerate(streams):
+                e0, e1 = int(acc_edges[r]), int(acc_edges[r + 1])
+                m_r = e1 - e0
+                if m_r == 0:
+                    continue
+                signs[e0:e1] = random_signs(st, (m_r, k))
+                tr = st.integers(0, k, size=2 * m_r)
+                transp[e0:e1] = tr[:m_r]
+                transp[n_acc + e0 : n_acc + e1] = tr[m_r:]
+            if n_acc:
+                collide_rows_with_velocities(
+                    parts,
+                    a_rows,
+                    b_rows,
+                    au0,
+                    au1,
+                    av0,
+                    av1,
+                    aw0,
+                    aw1,
+                    signs=signs,
+                    transpositions=transp,
+                )
+
+        # Side work: each replica's reservoir Gaussianizes itself (the
+        # mix shuffles and collides within one reservoir -- inherently
+        # per-replica, and far smaller than the flow).
+        if cfg.reservoir_mix_rounds:
+            with perf.phase("reservoir"):
+                for r, st in enumerate(streams):
+                    self.reservoirs[r].mix(
+                        st, rounds=cfg.reservoir_mix_rounds
+                    )
+
+        self.step_count += 1
+        if sample:
+            key = parts.scratch.array("ens_key", parts.n, dtype=np.int64)
+            blocked_cell_key(parts.cell, self.starts, n_cells, out=key)
+            self.sampler.accumulate(parts, key)
+            if self.surfaces is not None:
+                for surf in self.surfaces:
+                    surf.end_step()
+
+        perf.end_step(n_particles=parts.n)
+        diag = EnsembleStepDiagnostics(
+            step=self.step_count,
+            n_flow=tuple(np.diff(self.starts).astype(int).tolist()),
+            n_reservoir=tuple(r.size for r in self.reservoirs),
+            n_candidates=n_pairs,
+            n_collisions=tuple(
+                int(acc_edges[r + 1] - acc_edges[r]) for r in range(n_rep)
+            ),
+            mean_collision_probability=(
+                probability_sum / n_pairs if n_pairs else 0.0
+            ),
+            boundary=bstats,
+            total_energy=parts.total_energy(),
+        )
+        if self.metrics is not None:
+            self._publish_metrics(diag)
+        return diag
+
+    def run(
+        self, n_steps: int, sample: bool = False
+    ) -> EnsembleStepDiagnostics:
+        """Run ``n_steps`` steps; returns the final step's diagnostics."""
+        if n_steps <= 0:
+            raise ConfigurationError("n_steps must be positive")
+        diag = None
+        for _ in range(n_steps):
+            diag = self.step(sample=sample)
+        return diag
+
+    def run_schedule(
+        self, transient: int, average: int
+    ) -> EnsembleStepDiagnostics:
+        """Transient then sampling phase (the scenario schedule)."""
+        if transient > 0:
+            self.run(transient)
+        return self.run(average, sample=True)
+
+    # -- boundary phase ---------------------------------------------------
+
+    def _apply_boundaries(self, streams, sample: bool) -> BoundaryStats:
+        """Replica-aware mirror of the solo specular fast path.
+
+        The plunger reflection and the wall/wedge passes are purely
+        elementwise, so they run over the whole blocked population at
+        once; one replica still resolving reflections only adds no-op
+        passes for the others.  Population surgery (downstream removal,
+        plunger refill) and every RNG consumer (reservoir deposit,
+        withdraw, refill positions) go block-by-block so each replica
+        sees exactly its solo draws and its solo row arrangement.
+        """
+        cfg = self.config
+        wb = self.boundaries
+        parts = self.particles
+        domain = cfg.domain
+        sc = parts.scratch
+        n = parts.n
+        x, y, u, v = parts.x, parts.y, parts.u, parts.v
+        height = domain.height
+        n_walls = 0
+        n_wedge = 0
+        n_clamped = 0
+        record = sample and self.surfaces is not None
+
+        # 1) Upstream plunger face (shared: the piston is geometry, not
+        #    randomness -- every replica sees the same wall).
+        mask = sc.array("bnd_mask", n, dtype=bool)
+        xp = wb.plunger.position
+        np.less(x, xp, out=mask)
+        behind = np.flatnonzero(mask)
+        if behind.size:
+            x[behind] = 2.0 * xp - x[behind]
+            u[behind] = 2.0 * wb.plunger.speed - u[behind]
+            n_walls += int(behind.size)
+
+        # 2) Solid surfaces, iterated to a fixed point on the moved set.
+        active: Optional[np.ndarray] = None
+        clean = False
+        for _ in range(MAX_REFLECTION_PASSES):
+            moved = []
+            if active is None:
+                m2 = sc.array("bnd_mask2", n, dtype=bool)
+                np.less(y, 0.0, out=mask)
+                np.greater(y, height, out=m2)
+                np.logical_or(mask, m2, out=mask)
+                off = np.flatnonzero(mask)
+            else:
+                ys = y[active]
+                off = active[(ys < 0.0) | (ys > height)]
+            if off.size:
+                ys = y[off]
+                below = ys < 0.0
+                ys[below] = -ys[below]
+                above = ys > height
+                ys[above] = 2.0 * height - ys[above]
+                y[off] = ys
+                v[off] = -v[off]
+                n_walls += int(off.size)
+                moved.append(off)
+            if wb.wedge is not None:
+                if active is None:
+                    idx_in = np.flatnonzero(wb.wedge.inside(x, y))
+                else:
+                    idx_in = active[wb.wedge.inside(x[active], y[active])]
+                if idx_in.size:
+                    x0 = x[idx_in]
+                    y0 = y[idx_in]
+                    u0 = u[idx_in]
+                    v0 = v[idx_in]
+                    x1, y1, u1, v1, back, ramp = (
+                        wb.wedge.reflect_specular_report(x0, y0, u0, v0)
+                    )
+                    if record:
+                        self._record_surface(
+                            idx_in, x1, u1 - u0, v1 - v0, back, ramp
+                        )
+                    x[idx_in] = x1
+                    y[idx_in] = y1
+                    u[idx_in] = u1
+                    v[idx_in] = v1
+                    n_wedge += int(idx_in.size)
+                    moved.append(idx_in)
+            if not moved:
+                clean = True
+                break
+            active = moved[0] if len(moved) == 1 else (
+                np.unique(np.concatenate(moved))
+            )
+        if not clean and active is not None and active.size:
+            n_clamped = wb._clamp_subset(parts, active)
+
+        # 3) Soft downstream boundary: blocked removal, per-replica
+        #    reservoir deposits from each replica's own stream.
+        np.greater_equal(x, domain.width, out=mask)
+        n_removed = int(np.count_nonzero(mask))
+        if n_removed:
+            starts = self.starts
+            removed_per = [
+                int(
+                    np.count_nonzero(
+                        mask[int(starts[r]) : int(starts[r + 1])]
+                    )
+                )
+                for r in range(self.n_replicas)
+            ]
+            self.starts = parts.remove_blocked_inplace(mask, starts)
+            for r, st in enumerate(streams):
+                if removed_per[r]:
+                    self.reservoirs[r].deposit(st, removed_per[r])
+
+        # 4) Advance the plunger; withdraw and refill past the trigger.
+        #    The refill count is deterministic and shared; the withdrawn
+        #    particles and their seeded positions are per-replica draws.
+        n_injected = 0
+        reset = False
+        wb.plunger.position += wb.plunger.speed
+        if wb.plunger.position >= wb.plunger.trigger:
+            xp = wb.plunger.position
+            area = xp * domain.height * wb.span_depth
+            n_new = int(round(cfg.freestream.density * area))
+            if n_new:
+                fresh = []
+                for r, st in enumerate(streams):
+                    f = self.reservoirs[r].withdraw(st, n_new)
+                    f.x = st.uniform(0.0, xp, size=n_new)
+                    f.y = st.uniform(0.0, domain.height, size=n_new)
+                    fresh.append(f)
+                self.starts = parts.append_blocked_inplace(
+                    fresh, self.starts
+                )
+                n_injected = n_new * self.n_replicas
+            wb.plunger.position = 0.0
+            reset = True
+
+        return BoundaryStats(
+            n_reflected_walls=n_walls,
+            n_reflected_wedge=n_wedge,
+            n_removed_downstream=n_removed,
+            n_injected_upstream=n_injected,
+            n_clamped=n_clamped,
+            plunger_reset=reset,
+        )
+
+    def _record_surface(self, idx_in, x1, du, dv, back, ramp) -> None:
+        """Split one wedge-reflection pass's impulses by replica block.
+
+        ``idx_in`` is ascending, so each replica's hits occupy one
+        contiguous slice (searchsorted on the block starts) in the same
+        relative order a solo run would record them -- the ``np.add.at``
+        accumulation inside each sampler is therefore bitwise solo.
+        """
+        hit = back | ramp
+        if not hit.any():
+            return
+        rows = idx_in[hit]
+        xs = x1[hit]
+        dus = du[hit]
+        dvs = dv[hit]
+        backs = back[hit]
+        edges = np.searchsorted(rows, self.starts)
+        for r in range(self.n_replicas):
+            e0, e1 = int(edges[r]), int(edges[r + 1])
+            if e1 > e0:
+                self.surfaces[r].record(
+                    xs[e0:e1], dus[e0:e1], dvs[e0:e1], backs[e0:e1]
+                )
+
+    # -- telemetry --------------------------------------------------------
+
+    def _publish_metrics(self, diag: EnsembleStepDiagnostics) -> None:
+        m = self.metrics
+        m.gauge("ensemble_replicas").set(self.n_replicas)
+        m.gauge("ensemble_flow_total").set(diag.n_flow_total)
+        m.gauge("ensemble_collisions_total").set(diag.n_collisions_total)
+        m.gauge("ensemble_energy_total").set(diag.total_energy)
+        for r, rid in enumerate(self.replica_ids):
+            labels = {"replica": str(rid)}
+            m.gauge("ensemble_flow", labels).set(diag.n_flow[r])
+            m.gauge("ensemble_collisions", labels).set(
+                diag.n_collisions[r]
+            )
+            m.gauge("ensemble_reservoir", labels).set(diag.n_reservoir[r])
+
+    # -- results ----------------------------------------------------------
+
+    def density_ratio_fields(
+        self, correct_volumes: bool = True
+    ) -> List[np.ndarray]:
+        """Per-replica time-averaged density-ratio fields."""
+        return [
+            cs.density_ratio(
+                self.config.freestream.density,
+                correct_volumes=correct_volumes,
+            )
+            for cs in self.sampler.samplers()
+        ]
+
+    def ramp_pressure_ratios(self) -> Optional[List[float]]:
+        """Per-replica mean ramp pressure / freestream static pressure."""
+        if self.surfaces is None or self.surfaces[0].steps == 0:
+            return None
+        fs = self.config.freestream
+        p_inf = fs.density * fs.rt
+        return [
+            float(surf.ramp_pressure()[2:-2].mean() / p_inf)
+            for surf in self.surfaces
+        ]
+
+    def statistic(
+        self, values: Sequence[float], confidence: float = 0.95
+    ) -> EnsembleStatistic:
+        """Mean / stderr / t-CI of one scalar measure across replicas."""
+        if len(values) != self.n_replicas:
+            raise ConfigurationError(
+                "one value per replica expected "
+                f"({len(values)} != {self.n_replicas})"
+            )
+        return ensemble_statistic(values, confidence=confidence)
+
+
+# -- scenario metrology over replicas ---------------------------------------
+
+
+def replica_scenario_runs(engine: EnsembleEngine, spec=None) -> list:
+    """Wrap each replica's averages as a golden-harness ScenarioRun.
+
+    Lets the existing check metrology
+    (:func:`repro.scenarios.golden.measure_check`) evaluate shock
+    angle / plateau density / ramp pressure per replica; feed the
+    resulting values to :func:`repro.core.sampling.ensemble_statistic`
+    for the confidence interval.
+    """
+    from repro.scenarios.golden import ScenarioRun
+
+    fields = engine.density_ratio_fields()
+    ramps = engine.ramp_pressure_ratios()
+    fs = engine.config.freestream
+    return [
+        ScenarioRun(
+            spec=spec,
+            fields=[fields[r]],
+            body=engine.config.wedge,
+            mach=fs.mach,
+            gamma=fs.gamma,
+            ramp_pressure_ratio=None if ramps is None else ramps[r],
+        )
+        for r in range(engine.n_replicas)
+    ]
+
+
+# -- the bitwise replica-equality checker -----------------------------------
+
+
+def replica_state(engine: EnsembleEngine, r: int) -> dict:
+    """Snapshot every replica-owned array of replica index ``r``.
+
+    Covers the flow block (all columns), the reservoir population, the
+    sampler accumulators, the surface-load accumulators, and the
+    shared plunger position -- everything the determinism contract
+    promises is bitwise solo.
+    """
+    b0, b1 = int(engine.starts[r]), int(engine.starts[r + 1])
+    state = {
+        f"flow_{name}": np.asarray(getattr(engine.particles, name))[
+            b0:b1
+        ].copy()
+        for name in COLUMN_NAMES
+    }
+    res = engine.reservoirs[r].particles
+    for name in COLUMN_NAMES:
+        state[f"res_{name}"] = np.asarray(getattr(res, name)).copy()
+    n_cells = engine.config.domain.n_cells
+    sl = slice(r * n_cells, (r + 1) * n_cells)
+    for name in SAMPLER_FIELDS:
+        state[f"sampler{name}"] = getattr(engine.sampler, name)[sl].copy()
+    state["sampler_steps"] = np.array([engine.sampler.steps])
+    if engine.surfaces is not None:
+        surf = engine.surfaces[r]
+        state["surface_impulse_x"] = surf._impulse_x.copy()
+        state["surface_impulse_y"] = surf._impulse_y.copy()
+        state["surface_hits"] = surf._hits.copy()
+        state["surface_steps"] = np.array([surf.steps])
+    state["plunger_position"] = np.array(
+        [engine.boundaries.plunger.position]
+    )
+    state["step_count"] = np.array([engine.step_count])
+    return state
+
+
+def verify_replica_equality(
+    config: SimulationConfig,
+    n_replicas: int = 2,
+    transient: int = 3,
+    average: int = 2,
+) -> None:
+    """Assert batched == solo, bitwise, for every replica.
+
+    The fast-vs-audit cross-check of the determinism contract: run the
+    batched engine for ``transient`` unsampled plus ``average`` sampled
+    steps, then re-run each replica as a solo (R = 1) engine keyed for
+    the same replica id, and require every state array --
+    flow columns, reservoir, sampler and surface accumulators -- to be
+    ``np.array_equal``.  Raises :class:`repro.errors.ValidationError`
+    naming the first differing arrays.
+    """
+    batched = EnsembleEngine(config, n_replicas=n_replicas)
+    if transient > 0:
+        batched.run(transient)
+    if average > 0:
+        batched.run(average, sample=True)
+    failures = []
+    for r, rid in enumerate(batched.replica_ids):
+        solo = EnsembleEngine(config, replica_ids=[rid])
+        if transient > 0:
+            solo.run(transient)
+        if average > 0:
+            solo.run(average, sample=True)
+        got = replica_state(batched, r)
+        want = replica_state(solo, 0)
+        for key in sorted(want):
+            if not np.array_equal(got[key], want[key]):
+                failures.append(f"replica {rid}: {key} differs")
+    if failures:
+        raise ValidationError(
+            "batched-vs-solo bitwise equality failed:\n  "
+            + "\n  ".join(failures)
+        )

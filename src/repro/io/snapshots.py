@@ -237,6 +237,155 @@ def save_simulation(
             p.write_bytes(blob[: len(blob) // 2])
 
 
+#: Ensemble snapshot format version (independent of the solo format:
+#: the archives share the config blob and particle packing but nothing
+#: else, and an ensemble archive carries no RNG state at all -- the
+#: engine's streams are pure functions of ``(seed, replica, step)``).
+ENSEMBLE_FORMAT_VERSION = 1
+
+
+def save_ensemble(engine, path: PathLike, compress: bool = True) -> None:
+    """Write an exact checkpoint of an ensemble run to ``path`` (.npz).
+
+    Captures the replica-blocked flow population with its block
+    boundaries, every replica's reservoir, the sampler and surface-load
+    accumulators, the shared plunger phase and the step count.  No RNG
+    state is stored: the ensemble engine re-derives each step's streams
+    from ``(seed, replica, step)``, so the integer seed in the config
+    blob is all a bitwise continuation needs.
+    """
+    seed = engine.config.seed
+    if seed is None:
+        from repro.rng import DEFAULT_SEED
+
+        ens_seed = DEFAULT_SEED
+    elif isinstance(seed, (int, np.integer)):
+        ens_seed = int(seed)
+    else:
+        raise ConfigurationError(
+            "ensemble snapshots need an integer (or None) seed; a "
+            f"{type(seed).__name__} cannot be serialized"
+        )
+    arrays = {
+        "ensemble_format_version": np.array(ENSEMBLE_FORMAT_VERSION),
+        "config_json": np.array(_config_to_json(engine.config)),
+        "ensemble_seed": np.array(ens_seed),
+        "replica_ids": np.asarray(engine.replica_ids, dtype=np.int64),
+        "starts": np.asarray(engine.starts, dtype=np.int64),
+        "step_count": np.array(engine.step_count),
+        "plunger_position": np.array(engine.boundaries.plunger.position),
+        "sampler_steps": np.array(engine.sampler.steps),
+        "sampler_count": engine.sampler._count,
+        "sampler_mu": engine.sampler._mu,
+        "sampler_mv": engine.sampler._mv,
+        "sampler_mw": engine.sampler._mw,
+        "sampler_e_trans": engine.sampler._e_trans,
+        "sampler_e_rot": engine.sampler._e_rot,
+    }
+    arrays.update(_pack_particles("flow", engine.particles))
+    for r, res in enumerate(engine.reservoirs):
+        arrays.update(_pack_particles(f"res{r}", res.particles))
+    if engine.surfaces is not None:
+        for r, surf in enumerate(engine.surfaces):
+            arrays[f"surface{r}_steps"] = np.array(surf._steps)
+            arrays[f"surface{r}_impulse_x"] = surf._impulse_x
+            arrays[f"surface{r}_impulse_y"] = surf._impulse_y
+            arrays[f"surface{r}_hits"] = surf._hits
+    if compress:
+        np.savez_compressed(path, **arrays)
+    else:
+        np.savez(path, **arrays)
+
+
+def load_ensemble(path: PathLike):
+    """Reconstruct an :class:`repro.ensemble.EnsembleEngine` checkpoint.
+
+    The returned engine continues exactly where the saved one stopped
+    for every replica -- same blocks, same reservoirs, same accumulated
+    averages, same plunger phase -- and, because the engine's streams
+    are keyed rather than advanced, its subsequent steps are bitwise
+    identical to the uninterrupted run's.
+
+    Raises :class:`~repro.errors.CheckpointCorruptionError` on a
+    truncated or non-ensemble archive.
+    """
+    import dataclasses
+
+    from repro.core.reservoir import Reservoir
+    from repro.core.sampling import EnsembleSampler
+    from repro.ensemble.engine import EnsembleEngine
+
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if "ensemble_format_version" not in data:
+                raise ConfigurationError(
+                    "not an ensemble snapshot (missing "
+                    "ensemble_format_version); use load_simulation"
+                )
+            version = int(data["ensemble_format_version"])
+            if version != ENSEMBLE_FORMAT_VERSION:
+                raise ConfigurationError(
+                    f"ensemble snapshot format {version} != supported "
+                    f"{ENSEMBLE_FORMAT_VERSION}"
+                )
+            config = dataclasses.replace(
+                _config_from_json(str(data["config_json"])),
+                seed=int(data["ensemble_seed"]),
+            )
+            replica_ids = [int(r) for r in data["replica_ids"]]
+            eng = EnsembleEngine._restore_shell(config, replica_ids)
+            eng.particles = _unpack_particles("flow", data)
+            eng.particles.enable_scratch()
+            eng.starts = data["starts"].astype(np.int64).copy()
+            eng.reservoirs = []
+            for r in range(len(replica_ids)):
+                res = Reservoir(
+                    config.freestream,
+                    rotational_dof=config.model.rotational_dof,
+                )
+                res.particles = _unpack_particles(f"res{r}", data)
+                res.particles.enable_scratch()
+                eng.reservoirs.append(res)
+            eng.sampler = EnsembleSampler(
+                config.domain, len(replica_ids), eng.volume_fractions
+            )
+            eng.sampler._steps = int(data["sampler_steps"])
+            eng.sampler._count[:] = data["sampler_count"]
+            eng.sampler._mu[:] = data["sampler_mu"]
+            eng.sampler._mv[:] = data["sampler_mv"]
+            eng.sampler._mw[:] = data["sampler_mw"]
+            eng.sampler._e_trans[:] = data["sampler_e_trans"]
+            eng.sampler._e_rot[:] = data["sampler_e_rot"]
+            if isinstance(config.wedge, Wedge):
+                from repro.core.surface import SurfaceSampler
+
+                eng.surfaces = [
+                    SurfaceSampler(config.wedge) for _ in replica_ids
+                ]
+                for r, surf in enumerate(eng.surfaces):
+                    if f"surface{r}_steps" in data:
+                        surf._steps = int(data[f"surface{r}_steps"])
+                        surf._impulse_x[:] = data[f"surface{r}_impulse_x"]
+                        surf._impulse_y[:] = data[f"surface{r}_impulse_y"]
+                        surf._hits[:] = data[f"surface{r}_hits"]
+            else:
+                eng.surfaces = None
+            eng.step_count = int(data["step_count"])
+            eng.boundaries.plunger.position = float(
+                data["plunger_position"]
+            )
+    except FileNotFoundError:
+        raise
+    except ConfigurationError:
+        raise
+    except (zipfile.BadZipFile, KeyError, ValueError, OSError, EOFError) as exc:
+        raise CheckpointCorruptionError(
+            f"checkpoint is unreadable or truncated: {exc}",
+            path=str(path),
+        ) from exc
+    return eng
+
+
 def load_simulation(
     path: PathLike,
     workers: Optional[int] = None,

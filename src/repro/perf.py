@@ -24,7 +24,6 @@ seconds, which is what the Chrome-trace export renders.
 from __future__ import annotations
 
 import time
-import warnings
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
@@ -179,32 +178,16 @@ class PerfLedger:
             return {p: 0.0 for p in PAPER_PHASES}
         return {p: self._seconds.get(p, 0.0) / total for p in PAPER_PHASES}
 
-    def us_per_particle(
-        self, n_particles: Optional[int] = None
-    ) -> Dict[str, float]:
+    def us_per_particle(self) -> Dict[str, float]:
         """Phase -> microseconds per particle per step (paper units).
 
-        With no argument, divides by the accumulated per-step particle
-        counts (the series built by ``end_step(n_particles=...)``),
-        which is exact under a fluctuating population.  Passing a
-        single ``n_particles`` is deprecated: it silently applied the
-        *final* population to every recorded step.
+        Divides by the accumulated per-step particle counts (the series
+        built by ``end_step(n_particles=...)``), which is exact under a
+        fluctuating population.  The old single-count signature
+        (``us_per_particle(n_particles)``), which silently applied the
+        *final* population to every recorded step, has been removed;
+        report the count per step via ``end_step`` instead.
         """
-        if n_particles is not None:
-            warnings.warn(
-                "us_per_particle(n_particles) applies one population to "
-                "every step; pass the count per step via "
-                "end_step(n_particles=...) and call us_per_particle() "
-                "with no argument instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if self._steps == 0 or n_particles <= 0:
-                return {}
-            return {
-                p: s / self._steps / n_particles * 1e6
-                for p, s in self._seconds.items()
-            }
         if self._particle_steps == 0 or self._counted_steps == 0:
             return {}
         # Steps that predate the series (mixed old/new callers) scale
@@ -216,7 +199,7 @@ class PerfLedger:
             for p, s in self._seconds.items()
         }
 
-    def summary(self, n_particles: Optional[int] = None) -> Dict[str, object]:
+    def summary(self) -> Dict[str, object]:
         """One serializable record of everything the ledger knows."""
         out: Dict[str, object] = {
             "steps": self._steps,
@@ -225,8 +208,6 @@ class PerfLedger:
             "per_step_seconds": self.per_step_seconds(),
             "fractions": self.fractions(),
         }
-        if n_particles:
-            out["us_per_particle"] = self.us_per_particle(n_particles)
-        elif self._particle_steps:
+        if self._particle_steps:
             out["us_per_particle"] = self.us_per_particle()
         return out

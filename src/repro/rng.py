@@ -29,6 +29,13 @@ SeedLike = Union[int, np.random.SeedSequence, np.random.Generator, None]
 #: arbitrarily; fixing it makes `pytest` runs deterministic.
 DEFAULT_SEED: int = 19890101
 
+#: seed -> Philox key words, filled by :func:`shard_stream`.  Keys are
+#: deterministic functions of the seed, so caching cannot change any
+#: stream; the cap only guards against unbounded growth if something
+#: iterates seeds.
+_KEY_CACHE: dict = {}
+_KEY_CACHE_MAX = 256
+
 
 def make_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for the given seed.
@@ -68,20 +75,28 @@ def spawn_streams(seed: SeedLike, n: int) -> list:
 
 
 def shard_stream(
-    seed: SeedLike, shard_id: int, step: int
+    seed: SeedLike, shard_id: int, step: int, replica: int = 0
 ) -> np.random.Generator:
-    """Counter-based stream for one ``(seed, shard_id, step)`` triple.
+    """Counter-based stream for one ``(seed, replica, shard_id, step)`` key.
 
     The sharded execution backend gives every domain shard a fresh
     generator each time step, keyed -- not advanced -- by where and when
     it runs: the Philox bit generator is counter-based, so the stream is
-    a pure function of ``(seed, shard_id, step)`` with no sequential
-    state to ship between processes or save in checkpoints.  Streams for
-    distinct keys are disjoint segments of one 2**256 counter space
-    (``shard_id`` and ``step`` occupy the two high counter words; a
-    single step never draws anywhere near the 2**128 values that would
-    overflow into a neighbouring key), which makes any worker count
-    run-to-run reproducible and independent of barrier arrival order.
+    a pure function of ``(seed, replica, shard_id, step)`` with no
+    sequential state to ship between processes or save in checkpoints.
+    Streams for distinct keys are disjoint segments of one 2**256
+    counter space (``replica``, ``shard_id`` and ``step`` occupy the
+    three high counter words; a single step never draws anywhere near
+    the 2**64 values that would overflow into a neighbouring key), which
+    makes any worker count run-to-run reproducible and independent of
+    barrier arrival order.
+
+    ``replica`` keys the ensemble engine's statistically independent
+    Monte Carlo members: replica ``r`` of a batched run draws from
+    exactly the streams a solo run keyed for ``r`` would, which is what
+    makes batched-vs-solo execution bitwise comparable.  The default of
+    0 occupies the counter word that was previously hardwired to 0, so
+    every existing 3-key call sees an unchanged stream.
     """
     if isinstance(seed, np.random.Generator):
         raise ValueError(
@@ -90,12 +105,27 @@ def shard_stream(
         )
     if shard_id < 0 or step < 0:
         raise ValueError("shard_id and step must be non-negative")
+    if replica < 0:
+        raise ValueError("replica must be non-negative")
     if seed is None:
         seed = DEFAULT_SEED
-    if not isinstance(seed, np.random.SeedSequence):
-        seed = np.random.SeedSequence(int(seed))
-    key = seed.generate_state(2, np.uint64)
-    counter = np.array([0, 0, shard_id, step], dtype=np.uint64)
+    if isinstance(seed, np.random.SeedSequence):
+        key = seed.generate_state(2, np.uint64)
+    else:
+        # Spinning up a SeedSequence costs ~20us -- real money for the
+        # ensemble engine, which keys R fresh streams every step from
+        # the same integer seed.  The entropy -> key expansion is a pure
+        # function, so cache it per seed (bounded: an engine only ever
+        # uses one).
+        seed = int(seed)
+        key = _KEY_CACHE.get(seed)
+        if key is None:
+            if len(_KEY_CACHE) >= _KEY_CACHE_MAX:
+                _KEY_CACHE.clear()
+            key = np.random.SeedSequence(seed).generate_state(2, np.uint64)
+            key.setflags(write=False)
+            _KEY_CACHE[seed] = key
+    counter = np.array([0, replica, shard_id, step], dtype=np.uint64)
     return np.random.Generator(np.random.Philox(key=key, counter=counter))
 
 

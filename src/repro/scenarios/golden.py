@@ -121,7 +121,7 @@ class CheckResult:
     value: float
     expected: float
     tol: float
-    tol_kind: str  # "rel" | "abs"
+    tol_kind: str  # "rel" | "abs" | "ci"
     ok: bool
 
 
@@ -142,9 +142,12 @@ class ValidationReport:
                  f"{'PASS' if self.ok else 'FAIL'}"]
         for r in self.results:
             mark = "ok " if r.ok else "FAIL"
-            tol = (
-                f"rel {r.tol:.3g}" if r.tol_kind == "rel" else f"abs {r.tol:.3g}"
-            )
+            if r.tol_kind == "rel":
+                tol = f"rel {r.tol:.3g}"
+            elif r.tol_kind == "ci":
+                tol = f"ci +/-{r.tol:.3g}"
+            else:
+                tol = f"abs {r.tol:.3g}"
             lines.append(
                 f"  [{mark}] {r.name:<28s} {r.value:10.4f}  "
                 f"expected {r.expected:10.4f}  ({r.expect}, {tol})"
@@ -267,6 +270,29 @@ def measure_check(run: ScenarioRun, check: Mapping[str, Any]) -> float:
     return float(post_shock_plateau(rho, run.body, fit))
 
 
+def measure_check_ensemble(
+    runs: List[ScenarioRun],
+    check: Mapping[str, Any],
+    confidence: float = 0.95,
+):
+    """One check's observable over an ensemble of runs, as a t-CI.
+
+    Applies :func:`measure_check` to each member and returns the
+    :class:`repro.core.sampling.EnsembleStatistic` (mean, standard
+    error, confidence interval) of the per-member values.  The members
+    can be independent seed sweeps (:func:`validate_scenario` with
+    ``ensemble=``) or the replicas of one batched
+    :class:`repro.ensemble.EnsembleEngine` run via
+    :func:`repro.ensemble.replica_scenario_runs`.
+    """
+    from repro.core.sampling import ensemble_statistic
+
+    if not runs:
+        raise ConfigurationError("measure_check_ensemble needs >= 1 run")
+    values = [measure_check(run, check) for run in runs]
+    return ensemble_statistic(values, confidence=confidence)
+
+
 def expected_value(run: ScenarioRun, check: Mapping[str, Any]) -> float:
     """Closed-form / const reference value for a non-golden check."""
     expect = check["expect"]
@@ -377,14 +403,68 @@ def validate_scenario(
     spec: ScenarioSpec,
     overrides: Optional[Mapping] = None,
     run: Optional[ScenarioRun] = None,
+    ensemble: Optional[int] = None,
+    confidence: float = 0.95,
 ) -> ValidationReport:
     """Run the scenario and check every observable against its reference.
 
     Returns the full report (pass/fail per check); raise-on-fail is the
     caller's choice via :meth:`ValidationReport.ok` or
     :func:`require_valid`.
+
+    ``ensemble=R`` switches every check from a point estimate to an
+    ensemble aggregation: the scenario runs R times at seeds
+    ``spec.seed + 101 * k`` (the golden regenerator's seed scheme), each
+    check's value becomes the cross-seed mean, and the check passes when
+    the ``confidence`` t-interval *contains* the reference value
+    (``tol_kind = "ci"``; the reported tolerance is the CI half-width).
+    This gates on statistical consistency with the theory value rather
+    than a fixed tolerance around one noisy realization.
     """
     validate_contract(spec)
+    if ensemble is not None:
+        if run is not None:
+            raise ConfigurationError(
+                "pass either run= or ensemble=, not both"
+            )
+        if ensemble < 2:
+            raise ConfigurationError(
+                "ensemble validation needs >= 2 members (a single run "
+                "has no interval); use the point-estimate path instead"
+            )
+        runs = [
+            run_scenario(
+                spec, overrides=overrides, seed=spec.seed + 101 * k
+            )
+            for k in range(ensemble)
+        ]
+        golden = None
+        results = []
+        for check in spec.validation["checks"]:
+            stat = measure_check_ensemble(
+                runs, check, confidence=confidence
+            )
+            if check["expect"] == "golden":
+                if golden is None:
+                    golden = load_golden(spec)
+                expected = float(
+                    golden["observables"][check["name"]]["value"]
+                )
+            else:
+                expected = expected_value(runs[0], check)
+            results.append(
+                CheckResult(
+                    name=check["name"],
+                    kind=check["kind"],
+                    expect=check["expect"],
+                    value=stat.mean,
+                    expected=expected,
+                    tol=(stat.hi - stat.lo) / 2.0,
+                    tol_kind="ci",
+                    ok=stat.contains(expected),
+                )
+            )
+        return ValidationReport(scenario=spec.name, results=results)
     if run is None:
         run = run_scenario(spec, overrides=overrides)
     golden = None

@@ -10,6 +10,9 @@ ephemeral port in tests), handler threads calling into the
 ``POST /jobs``                  submit; 202 accepted, 200 cached,
                                 429 backpressure, 400 bad config,
                                 503 shutting down
+``POST /sweep``                 expand a mach x kn x seed grid into
+                                one submission per grid point through
+                                the same path (202; 200 all cached)
 ``GET /jobs``                   list all jobs
 ``GET /jobs/<id>``              one job's status (404 unknown)
 ``POST /jobs/<id>/cancel``      cancel (409 already terminal)
@@ -186,10 +189,97 @@ class ServiceAPI:
                     faults=req.get("faults"),
                 )
                 return (200 if out["cached"] else 202), out
+            if path == "/sweep":
+                return self._sweep(self._read_json(handler))
             if path.startswith("/jobs/") and path.endswith("/cancel"):
                 job_id = path[len("/jobs/"):-len("/cancel")]
                 return 200, orch.cancel(job_id)
         raise JobNotFoundError("no such route", path=path, method=method)
+
+    # -- parameter sweeps ------------------------------------------------
+
+    #: Ceiling on one sweep's grid size -- a typo'd axis should fail
+    #: fast, not enqueue thousands of jobs past the dedup cache.
+    SWEEP_LIMIT = 64
+
+    def _sweep(self, req: dict):
+        """``POST /sweep``: expand a mach x kn x seed grid into jobs.
+
+        Each grid point goes through the orchestrator's normal
+        ``submit`` path -- dedup cache, queue backpressure and journal
+        all apply per job; the sweep adds no orchestrator state.  An
+        omitted axis contributes no override (the scenario default);
+        ``kn`` values are freestream mean free paths in cell widths
+        (the ``lambda_mfp`` override).  Jobs are submitted in grid
+        order (mach outermost, seed innermost).  On backpressure
+        mid-sweep the 429 response's context reports how many grid
+        points had already been accepted (they stay queued).
+        """
+        scenario = req.get("scenario")
+        spec = req.get("spec")
+        if scenario is None and spec is None:
+            raise ConfigurationError("sweep needs a scenario or spec")
+
+        def _axis(name):
+            values = req.get(name)
+            if values is None:
+                return [None]
+            if not isinstance(values, list) or not values:
+                raise ConfigurationError(
+                    f"sweep axis {name!r} must be a non-empty list"
+                )
+            return values
+
+        machs = _axis("mach")
+        kns = _axis("kn")
+        seeds = _axis("seeds")
+        grid = [
+            (m, kn, seed)
+            for m in machs
+            for kn in kns
+            for seed in seeds
+        ]
+        if len(grid) > self.SWEEP_LIMIT:
+            raise ConfigurationError(
+                f"sweep grid has {len(grid)} points; limit is "
+                f"{self.SWEEP_LIMIT} per request"
+            )
+        base = dict(req.get("overrides") or {})
+        jobs = []
+        for m, kn, seed in grid:
+            overrides = dict(base)
+            if m is not None:
+                overrides["mach"] = m
+            if kn is not None:
+                overrides["lambda_mfp"] = kn
+            try:
+                out = self.orchestrator.submit(
+                    scenario=scenario,
+                    spec=spec,
+                    seed=seed,
+                    overrides=overrides,
+                    deadline=req.get("deadline"),
+                    max_retries=req.get("max_retries"),
+                )
+            except BackpressureError as exc:
+                raise BackpressureError(
+                    "sweep stopped by backpressure",
+                    submitted=len(jobs),
+                    total=len(grid),
+                    **{str(k): v for k, v in exc.context.items()},
+                ) from None
+            jobs.append(
+                {
+                    "mach": m,
+                    "kn": kn,
+                    "seed": seed,
+                    "job_id": out["job_id"],
+                    "state": out["state"],
+                    "cached": out["cached"],
+                }
+            )
+        status = 200 if all(j["cached"] for j in jobs) else 202
+        return status, {"jobs": jobs, "count": len(jobs)}
 
     # -- live tails ------------------------------------------------------
 

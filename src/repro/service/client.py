@@ -77,6 +77,39 @@ class ServiceClient:
         """POST /jobs; kwargs mirror :meth:`Orchestrator.submit`."""
         return self._request("POST", "/jobs", body=kwargs)
 
+    def sweep(
+        self,
+        scenario: Optional[str] = None,
+        spec: Optional[dict] = None,
+        mach: Optional[list] = None,
+        kn: Optional[list] = None,
+        seeds: Optional[list] = None,
+        overrides: Optional[dict] = None,
+        deadline: Optional[float] = None,
+        max_retries: Optional[int] = None,
+    ) -> dict:
+        """POST /sweep: one submission per mach x kn x seed grid point.
+
+        Returns ``{"jobs": [...], "count": N}`` with one entry per
+        grid point carrying its axis values plus the usual
+        ``job_id`` / ``state`` / ``cached`` submit fields.
+        """
+        body = {
+            k: v
+            for k, v in (
+                ("scenario", scenario),
+                ("spec", spec),
+                ("mach", mach),
+                ("kn", kn),
+                ("seeds", seeds),
+                ("overrides", overrides),
+                ("deadline", deadline),
+                ("max_retries", max_retries),
+            )
+            if v is not None
+        }
+        return self._request("POST", "/sweep", body=body)
+
     def status(self, job_id: str) -> dict:
         """GET /jobs/<id>: the job's current status dict."""
         return self._request("GET", f"/jobs/{job_id}")

@@ -1,0 +1,340 @@
+"""Replica-batched ensemble engine: bitwise contract and plumbing.
+
+The load-bearing guarantee is that replica ``r`` of a batched
+:class:`~repro.ensemble.EnsembleEngine` run is *bitwise identical* to a
+solo run of the same engine keyed for ``r`` alone -- every particle
+column, reservoir, sampler accumulator and surface tally.  That is what
+makes ensemble results auditable: any member of a batch can be replayed
+solo for debugging and produces the same trajectory float for float.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.particles import ParticleArrays
+from repro.core.sampling import EnsembleSampler, ensemble_statistic
+from repro.core.simulation import SimulationConfig
+from repro.ensemble import (
+    EnsembleEngine,
+    replica_state,
+    verify_replica_equality,
+)
+from repro.errors import ConfigurationError
+from repro.geometry.domain import Domain
+from repro.geometry.wedge import Wedge
+from repro.io.snapshots import load_ensemble, save_ensemble
+from repro.physics.freestream import Freestream
+from repro.physics.molecules import hard_sphere
+from repro.rng import random_permutation_table
+
+pytestmark = pytest.mark.ensemble
+
+
+def _small_config(seed: int = 7, density: float = 4.0, **kw) -> SimulationConfig:
+    return SimulationConfig(
+        domain=Domain(nx=32, ny=24),
+        freestream=Freestream(
+            mach=4.0, c_mp=0.14, lambda_mfp=0.5, density=density
+        ),
+        wedge=Wedge(x_leading=8.0, base=12.0, angle_deg=25.0),
+        seed=seed,
+        **kw,
+    )
+
+
+class TestBitwiseReplicaEquality:
+    def test_batched_matches_solo_with_sampling(self):
+        """R=3, a few steps, sampled tail: the core contract."""
+        verify_replica_equality(
+            _small_config(), n_replicas=3, transient=4, average=3
+        )
+
+    def test_equality_across_refills_and_removals(self):
+        """Long enough to cross plunger refills and outlet removals."""
+        verify_replica_equality(
+            _small_config(seed=11), n_replicas=2, transient=25, average=10
+        )
+
+    def test_equality_with_speed_dependent_selection(self):
+        """Hard-sphere molecules exercise the speed-factor branch."""
+        verify_replica_equality(
+            _small_config(model=hard_sphere()),
+            n_replicas=2,
+            transient=4,
+            average=2,
+        )
+
+    def test_replica_states_differ_from_each_other(self):
+        """Distinct replica keys must give distinct trajectories."""
+        eng = EnsembleEngine(_small_config(), n_replicas=2)
+        eng.run(5)
+        a = replica_state(eng, 0)
+        b = replica_state(eng, 1)
+        assert not np.array_equal(a["flow_u"], b["flow_u"])
+
+
+class TestEngineRestrictions:
+    def test_diffuse_wall_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnsembleEngine(
+                _small_config(wall_model="diffuse"), n_replicas=2
+            )
+
+    def test_live_generator_seed_rejected(self):
+        import dataclasses
+
+        cfg = dataclasses.replace(
+            _small_config(), seed=np.random.default_rng(1)
+        )
+        with pytest.raises(ConfigurationError):
+            EnsembleEngine(cfg, n_replicas=2)
+
+    def test_duplicate_replica_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnsembleEngine(_small_config(), replica_ids=[1, 1])
+
+    def test_negative_replica_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnsembleEngine(_small_config(), replica_ids=[-1, 0])
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnsembleEngine(_small_config(), n_replicas=0)
+
+
+class TestBlockedSurgery:
+    """Unit checks of the replica-blocked particle-array operations."""
+
+    @staticmethod
+    def _blocked(sizes):
+        rng = np.random.default_rng(3)
+        blocks = []
+        for n in sizes:
+            blocks.append(
+                ParticleArrays(
+                    x=rng.random(n),
+                    y=rng.random(n),
+                    u=rng.random(n),
+                    v=rng.random(n),
+                    w=rng.random(n),
+                    rot=rng.random((n, 2)),
+                    perm=random_permutation_table(rng, n),
+                    cell=np.zeros(n, dtype=np.int64),
+                )
+            )
+        import functools
+
+        parts = functools.reduce(ParticleArrays.concatenate, blocks)
+        parts.enable_scratch()
+        starts = np.zeros(len(sizes) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=starts[1:])
+        return parts, starts, blocks
+
+    def test_remove_blocked_matches_solo_removal(self):
+        parts, starts, blocks = self._blocked([6, 4, 5])
+        rng = np.random.default_rng(9)
+        mask = rng.random(parts.n) < 0.4
+        u_before = parts.u.copy()
+        new_starts = parts.remove_blocked_inplace(mask, starts)
+        for r, blk in enumerate(blocks):
+            blk.enable_scratch()
+            blk.remove_inplace(mask[starts[r] : starts[r + 1]])
+            got = parts.u[new_starts[r] : new_starts[r + 1]]
+            assert np.array_equal(got, blk.u), f"block {r} diverged"
+        assert new_starts[-1] == parts.n == (~mask).sum()
+        # Sanity: removal actually happened.
+        assert parts.n < u_before.size
+
+    def test_append_blocked_matches_solo_append(self):
+        parts, starts, blocks = self._blocked([3, 5])
+        _, _, fresh = self._blocked([2, 4])
+        new_starts = parts.append_blocked_inplace(fresh, starts)
+        for r, blk in enumerate(blocks):
+            blk.enable_scratch()
+            blk.append_inplace(fresh[r])
+            got = parts.u[new_starts[r] : new_starts[r + 1]]
+            assert np.array_equal(got, blk.u), f"block {r} diverged"
+        assert new_starts[-1] == parts.n
+
+    def test_empty_append_is_noop(self):
+        parts, starts, _ = self._blocked([4, 3])
+        empties = [
+            ParticleArrays.empty(2),
+            ParticleArrays.empty(2),
+        ]
+        before = parts.u.copy()
+        new_starts = parts.append_blocked_inplace(empties, starts)
+        assert np.array_equal(new_starts, starts)
+        assert np.array_equal(parts.u, before)
+
+
+class TestEnsembleSnapshot:
+    def test_roundtrip_resumes_bitwise(self, tmp_path):
+        cfg = _small_config(seed=13)
+        path = tmp_path / "ens.npz"
+
+        straight = EnsembleEngine(cfg, n_replicas=2)
+        straight.run(6)
+        straight.run(3, sample=True)
+
+        eng = EnsembleEngine(cfg, n_replicas=2)
+        eng.run(4)
+        save_ensemble(eng, path)
+        resumed = load_ensemble(path)
+        eng.run(2)
+        resumed.run(2)
+        eng.run(3, sample=True)
+        resumed.run(3, sample=True)
+
+        for r in range(2):
+            ref = replica_state(eng, r)
+            a = replica_state(resumed, r)
+            b = replica_state(straight, r)
+            for key in ref:
+                assert np.array_equal(ref[key], a[key]), (
+                    f"resume diverged at replica {r} key {key}"
+                )
+                assert np.array_equal(ref[key], b[key]), (
+                    f"save/load run differs from straight run "
+                    f"at replica {r} key {key}"
+                )
+
+    def test_load_rejects_non_ensemble_npz(self, tmp_path):
+        # A plain .npz without the ensemble version marker is routed to
+        # load_simulation by the error message, not silently accepted.
+        path = tmp_path / "bogus.npz"
+        np.savez(path, not_an_ensemble=np.arange(3))
+        with pytest.raises(ConfigurationError):
+            load_ensemble(path)
+
+
+class TestEnsembleSamplerUnits:
+    def test_replica_slices_match_solo_samplers(self):
+        domain = Domain(nx=4, ny=3)
+        samp = EnsembleSampler(domain, 2)
+        rng = np.random.default_rng(5)
+        n = 20
+        parts = ParticleArrays(
+            x=rng.random(n),
+            y=rng.random(n),
+            u=rng.standard_normal(n),
+            v=rng.standard_normal(n),
+            w=rng.standard_normal(n),
+            rot=rng.standard_normal((n, 2)),
+            perm=random_permutation_table(rng, n),
+            cell=rng.integers(0, domain.n_cells, size=n),
+        )
+        starts = np.array([0, 12, n])
+        key = parts.cell.copy()
+        key[12:] += domain.n_cells
+        samp.accumulate(parts, key)
+
+        from repro.core.sampling import CellSampler
+
+        for r, (i0, i1) in enumerate(zip(starts[:-1], starts[1:])):
+            solo = CellSampler(domain)
+            solo.accumulate(parts.select(np.arange(i0, i1)))
+            rep = samp.replica(r)
+            assert np.array_equal(rep._count, solo._count)
+            assert np.array_equal(rep._mu, solo._mu)
+            assert np.array_equal(rep._e_trans, solo._e_trans)
+
+    def test_key_bounds_validated(self):
+        domain = Domain(nx=2, ny=2)
+        samp = EnsembleSampler(domain, 1)
+        parts = ParticleArrays.empty(2)
+        with pytest.raises(ConfigurationError):
+            samp.accumulate(parts, np.zeros(3, dtype=np.int64))
+
+
+class TestEnsembleStatistic:
+    def test_mean_and_interval(self):
+        stat = ensemble_statistic([1.0, 2.0, 3.0, 4.0], confidence=0.95)
+        assert stat.mean == pytest.approx(2.5)
+        assert stat.n == 4
+        assert stat.lo < 2.5 < stat.hi
+        assert stat.contains(2.5)
+        assert not stat.contains(stat.hi + 1.0)
+
+    def test_single_value_has_infinite_interval(self):
+        stat = ensemble_statistic([3.0])
+        assert stat.mean == 3.0
+        assert stat.stderr == float("inf")
+        assert stat.contains(-1e300) and stat.contains(1e300)
+
+    def test_confidence_validated(self):
+        with pytest.raises(ConfigurationError):
+            ensemble_statistic([1.0, 2.0], confidence=1.5)
+        with pytest.raises(ConfigurationError):
+            ensemble_statistic([], confidence=0.9)
+
+    def test_wider_confidence_widens_interval(self):
+        vals = [1.0, 2.0, 3.0]
+        narrow = ensemble_statistic(vals, confidence=0.5)
+        wide = ensemble_statistic(vals, confidence=0.99)
+        assert (wide.hi - wide.lo) > (narrow.hi - narrow.lo)
+
+
+class TestGoldenEnsembleHook:
+    """validate_scenario(ensemble=R): CI containment instead of point tol."""
+
+    OVERRIDES = {
+        "nx": 32, "ny": 20, "density": 6.0, "transient": 10, "average": 10,
+    }
+
+    def test_measure_check_ensemble_returns_statistic(self):
+        from repro.scenarios import get
+        from repro.scenarios.golden import (
+            measure_check_ensemble,
+            run_scenario,
+        )
+
+        spec = get("wedge")
+        runs = [
+            run_scenario(spec, overrides=self.OVERRIDES, seed=spec.seed + k)
+            for k in range(2)
+        ]
+        check = {
+            "name": "upstream_unity", "kind": "band_mean",
+            "x": [2, 8], "y": [2, 18], "expect": "const", "value": 1.0,
+        }
+        stat = measure_check_ensemble(runs, check)
+        assert stat.n == 2
+        assert np.isfinite(stat.mean)
+        assert stat.lo <= stat.mean <= stat.hi
+
+    def test_measure_check_ensemble_rejects_empty(self):
+        from repro.scenarios.golden import measure_check_ensemble
+
+        with pytest.raises(ConfigurationError):
+            measure_check_ensemble([], {"kind": "band_mean"})
+
+    def test_validate_scenario_rejects_bad_ensemble_args(self):
+        from repro.scenarios import get
+        from repro.scenarios.golden import run_scenario, validate_scenario
+
+        spec = get("wedge")
+        with pytest.raises(ConfigurationError):
+            validate_scenario(spec, ensemble=1)
+        run = run_scenario(spec, overrides=self.OVERRIDES)
+        with pytest.raises(ConfigurationError):
+            validate_scenario(spec, run=run, ensemble=2)
+
+    def test_report_renders_ci_tolerances(self):
+        from repro.scenarios.golden import CheckResult, ValidationReport
+
+        report = ValidationReport(
+            scenario="wedge",
+            results=[
+                CheckResult(
+                    name="shock_angle_deg", kind="shock_angle",
+                    expect="theory:shock_angle", value=40.1,
+                    expected=39.8, tol=0.6, tol_kind="ci", ok=True,
+                )
+            ],
+        )
+        text = report.to_text()
+        assert "ci +/-0.6" in text
+        assert "PASS" in text

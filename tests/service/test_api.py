@@ -147,3 +147,119 @@ class TestErrorMapping:
             client.submit(
                 scenario="wedge", seed=1, overrides=tiny_overrides
             )
+
+
+class TestSweep:
+    """POST /sweep: grid expansion through the normal submit path."""
+
+    def test_grid_expansion_and_order(self, service, tiny_overrides):
+        _, _, client = service
+        out = client.sweep(
+            scenario="wedge",
+            mach=[3.0, 5.0],
+            seeds=[1, 2],
+            overrides=tiny_overrides,
+        )
+        assert out["count"] == 4
+        jobs = out["jobs"]
+        # mach outermost, seed innermost.
+        assert [(j["mach"], j["seed"]) for j in jobs] == [
+            (3.0, 1), (3.0, 2), (5.0, 1), (5.0, 2)
+        ]
+        assert len({j["job_id"] for j in jobs}) == 4
+        for j in jobs:
+            assert j["cached"] is False
+            assert j["kn"] is None
+
+    def test_omitted_axes_submit_single_job(self, service, tiny_overrides):
+        _, _, client = service
+        out = client.sweep(
+            scenario="wedge", seeds=[9], overrides=tiny_overrides
+        )
+        assert out["count"] == 1
+        assert out["jobs"][0]["mach"] is None
+
+    def test_kn_axis_overrides_lambda_mfp(self, service, tiny_overrides):
+        orch, _, client = service
+        out = client.sweep(
+            scenario="wedge",
+            kn=[0.25],
+            seeds=[4],
+            overrides=tiny_overrides,
+        )
+        job = orch.status(out["jobs"][0]["job_id"])
+        assert job["overrides"]["lambda_mfp"] == 0.25
+
+    def test_resweep_hits_dedup_cache(self, service, tiny_overrides):
+        _, _, client = service
+        first = client.sweep(
+            scenario="wedge", seeds=[7], overrides=tiny_overrides
+        )
+        for j in first["jobs"]:
+            client.wait(j["job_id"], timeout=120)
+        again = client.sweep(
+            scenario="wedge", seeds=[7], overrides=tiny_overrides
+        )
+        assert again["jobs"][0]["cached"] is True
+        assert again["jobs"][0]["job_id"] == first["jobs"][0]["job_id"]
+
+    def test_missing_scenario_is_400(self, service):
+        _, _, client = service
+        with pytest.raises(ConfigurationError):
+            client.sweep(seeds=[1])
+
+    def test_empty_axis_is_400(self, service):
+        _, _, client = service
+        with pytest.raises(ConfigurationError):
+            client.sweep(scenario="wedge", mach=[])
+
+    def test_grid_over_limit_is_400(self, service):
+        _, _, client = service
+        with pytest.raises(ConfigurationError) as err:
+            client.sweep(scenario="wedge", seeds=list(range(65)))
+        assert "limit" in str(err.value)
+
+    def test_backpressure_reports_partial_submission(
+        self, tmp_path, tiny_overrides
+    ):
+        orch = Orchestrator(
+            tmp_path, fast_config(queue_limit=2), start=False
+        )
+        api = ServiceAPI(orch, port=0)
+        client = ServiceClient(f"http://127.0.0.1:{api.port}")
+        try:
+            with pytest.raises(BackpressureError) as err:
+                client.sweep(
+                    scenario="wedge",
+                    seeds=[1, 2, 3, 4],
+                    overrides=tiny_overrides,
+                )
+            assert err.value.context["submitted"] == 2
+            assert err.value.context["total"] == 4
+        finally:
+            api.close()
+            orch.shutdown()
+
+
+class TestSweepCLI:
+    def test_sweep_command_prints_grid(
+        self, service, tiny_overrides, capsys
+    ):
+        from repro.cli import main
+
+        _, api, _ = service
+        code = main([
+            "sweep", "wedge",
+            "--mach", "3.0", "4.0",
+            "--seeds", "1",
+            "--nx", str(tiny_overrides["nx"]),
+            "--ny", str(tiny_overrides["ny"]),
+            "--density", str(tiny_overrides["density"]),
+            "--steps", str(tiny_overrides["average"]),
+            "--url", f"http://127.0.0.1:{api.port}",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 job(s) submitted" in out
+        assert "mach=3.0 seed=1" in out
+        assert "mach=4.0 seed=1" in out

@@ -126,3 +126,35 @@ class TestRunSubcommand:
             ln for ln in text.splitlines() if "steps in" not in ln
         ]
         assert strip(legacy) == strip(registry)
+
+
+class TestEnsembleRun:
+    def test_replicas_reports_confidence_intervals(self, capsys):
+        code = main([
+            "run", "wedge", "--replicas", "2", "--nx", "32", "--ny", "20",
+            "--density", "6", "--steps", "10", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 replicas" in out
+        # Whatever metrology succeeded is reported as a t-interval.
+        assert "CI, n=2" in out or "metrology unavailable" in out
+
+    def test_replicas_below_one_rejected(self, capsys):
+        assert main(["run", "wedge", "--replicas", "0"]) == 2
+        assert "--replicas" in capsys.readouterr().err
+
+    def test_replicas_rejects_workers(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--workers"):
+            main([
+                "run", "wedge", "--replicas", "2", "--workers", "2",
+                "--steps", "5",
+            ])
+
+    def test_replicas_rejects_3d_scenario(self, capsys):
+        assert main([
+            "run", "wedge3d", "--replicas", "2", "--steps", "5",
+        ]) == 2
+        assert "3-D" in capsys.readouterr().err

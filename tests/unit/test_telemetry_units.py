@@ -397,13 +397,14 @@ class TestPerfLedger:
         # 2e-3 s over 400 particle-steps = 5 us/particle/step.
         assert us["motion"] == pytest.approx(5.0)
 
-    def test_us_per_particle_single_count_deprecated(self):
+    def test_us_per_particle_single_count_removed(self):
+        # The deprecated one-population signature is gone: the count
+        # series reported through end_step is the only denominator.
         perf = PerfLedger()
         perf.record("motion", 1e-3)
         perf.end_step(n_particles=100)
-        with pytest.warns(DeprecationWarning):
-            legacy = perf.us_per_particle(100)
-        assert legacy["motion"] == pytest.approx(10.0)
+        with pytest.raises(TypeError):
+            perf.us_per_particle(100)
 
     def test_summary_includes_series_denominator(self):
         perf = PerfLedger()
